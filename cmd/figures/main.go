@@ -1,0 +1,72 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation (see DESIGN.md §3 for the index).
+//
+// Usage:
+//
+//	figures                 # run everything at full scale
+//	figures -id f2,f6       # run selected experiments
+//	figures -quick          # reduced workloads
+//	figures -seed 7         # alternate seed
+//	figures -csv f1         # dump Figure 1's full 1-minute series as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"privmem/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		idsFlag = flag.String("id", "", "comma-separated experiment ids (default: all)")
+		quick   = flag.Bool("quick", false, "reduced workloads")
+		seed    = flag.Int64("seed", 42, "base random seed")
+		csvFlag = flag.String("csv", "", "dump an experiment's raw series as CSV (supported: f1)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+
+	if *csvFlag != "" {
+		if *csvFlag != "f1" {
+			fmt.Fprintf(os.Stderr, "figures: -csv supports only f1, got %q\n", *csvFlag)
+			return 2
+		}
+		rows, err := experiments.Figure1CSV(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			return 1
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		return 0
+	}
+
+	ids := experiments.IDs()
+	if *idsFlag != "" {
+		ids = strings.Split(*idsFlag, ",")
+	}
+	exitCode := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			exitCode = 1
+			continue
+		}
+		fmt.Print(rep.Render())
+		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return exitCode
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunArgHandling(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{name: "no args", args: nil, want: 2},
+		{name: "unknown command", args: []string{"frobnicate"}, want: 2},
+		{name: "bad flag", args: []string{"simulate", "-bogus"}, want: 2},
+		{name: "simulate tiny", args: []string{"simulate", "-days", "1", "-seed", "3"}, want: 0},
+		{name: "figures quick one", args: []string{"figures", "-quick", "-id", "f6"}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := run(tt.args); got != tt.want {
+				t.Errorf("run(%v) = %d, want %d", tt.args, got, tt.want)
+			}
+		})
+	}
+}

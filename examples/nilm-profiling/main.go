@@ -1,0 +1,63 @@
+// NILM profiling: track individual appliances inside a home from nothing
+// but its aggregate smart-meter feed (the paper's §II-A), then read daily
+// routines out of the result — which days laundry happens, how often the
+// occupants cook breakfast — exactly the profile an energy-analytics
+// company could compile.
+//
+//	go run ./examples/nilm-profiling
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"privmem"
+)
+
+func main() {
+	// A two-week home at 10-second metering (PowerPlay is an online
+	// tracker designed for high-rate data). This home heats water with
+	// gas, as in the paper's Figure 2 setup.
+	cfg := privmem.DefaultHomeConfig(2018)
+	cfg.Days = 14
+	cfg.Step = 10 * time.Second
+	cfg.IncludeWaterHeater = false
+	world, err := privmem.NewEnergyWorldFromConfig(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	errs, inferred, err := world.ApplianceAttack()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PowerPlay virtual power meters (error factor, 0 = perfect):")
+	for _, e := range errs {
+		fmt.Printf("  %-8s error=%.3f  actual=%.1f kWh  inferred=%.1f kWh\n",
+			e.Device, e.ErrorFactor, e.ActualWh/1000, e.InferredWh/1000)
+	}
+
+	// Routine profiling from the dryer's virtual meter: when does this
+	// household do laundry?
+	dryer := inferred["dryer"]
+	runsByDay := map[time.Weekday]int{}
+	on := false
+	for i, v := range dryer.Values {
+		if v > 50 && !on {
+			runsByDay[dryer.TimeAt(i).Weekday()]++
+			on = true
+		} else if v <= 50 {
+			on = false
+		}
+	}
+	fmt.Println("\ninferred laundry schedule (dryer runs by weekday):")
+	for d := time.Sunday; d <= time.Saturday; d++ {
+		if runsByDay[d] > 0 {
+			fmt.Printf("  %-9s %d run(s)\n", d, runsByDay[d])
+		}
+	}
+	fmt.Println("\nactual laundry days configured in the simulator:", cfg.LaundryDays)
+	fmt.Println("\nthe paper's point: \"what days of the week do the users do their")
+	fmt.Println("laundry?\" is answerable from the meter alone — and profitable.")
+}

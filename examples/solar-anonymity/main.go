@@ -1,0 +1,58 @@
+// Solar anonymity: demonstrate that "anonymized" solar generation data is
+// not anonymous. Ten PV sites publish nothing but their generation
+// telemetry; SunSpot recovers their locations from solar geometry and
+// Weatherman from their weather signatures (the paper's Figure 5), and
+// SunDance separates a net meter back into its components.
+//
+//	go run ./examples/solar-anonymity    (about a minute: a year of
+//	                                      1-minute telemetry for 10 sites)
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"privmem"
+)
+
+func main() {
+	// A year of weather over the northeastern US, a public station grid,
+	// and ten anonymous rooftop PV sites.
+	world, err := privmem.NewSolarWorld(2018, 365)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("world: %d public weather stations, %d anonymous solar sites\n\n",
+		len(world.Stations), len(world.Sites))
+
+	fmt.Printf("%-8s %-28s %12s %14s\n", "site", "true location (hidden)", "sunspot km", "weatherman km")
+	for _, site := range world.Sites {
+		gen, err := world.Generation(site, time.Minute)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// SunSpot: sunrise/sunset/noon timing embedded in 1-minute data.
+		ssNote := "failed"
+		if est, err := world.LocalizeSunSpot(gen); err == nil {
+			ssNote = fmt.Sprintf("%.1f", privmem.DistanceKm(site.Lat, site.Lon, est.Lat, est.Lon))
+		}
+
+		// Weatherman: cloud-cover correlation, even from coarse hourly data.
+		hourly, err := gen.Resample(time.Hour)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wmNote := "failed"
+		if est, err := world.LocalizeWeatherman(hourly); err == nil {
+			wmNote = fmt.Sprintf("%.1f", privmem.DistanceKm(site.Lat, site.Lon, est.Lat, est.Lon))
+		}
+		fmt.Printf("%-8s (%.3f, %.3f) az=%3.0f %12s %14s\n",
+			site.Name, site.Lat, site.Lon, site.AzimuthDeg, ssNote, wmNote)
+	}
+
+	fmt.Println("\nexpected shape (paper Figure 5): SunSpot is often accurate but badly")
+	fmt.Println("off for east/west-skewed rooftops; Weatherman lands within a few km")
+	fmt.Println("for every site, even from 1-hour data.")
+}

@@ -1,0 +1,3 @@
+module privmem
+
+go 1.22

@@ -1,0 +1,153 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"privmem/internal/nettrace"
+)
+
+// BayesClassifier is a Gaussian naive-Bayes device classifier: per class,
+// each feature dimension is modeled as an independent Gaussian fitted on
+// the lab capture. It is the probabilistic counterpart to the
+// nearest-centroid Classifier; the two agree on easy classes and differ on
+// classes whose feature variance carries signal (a thermostat's metronomic
+// heartbeats have tiny variance; a camera's bursts have huge variance).
+type BayesClassifier struct {
+	window  time.Duration
+	classes []nettrace.Class
+	// means[c][d], stds[c][d], and logPrior[c] are the fitted parameters.
+	means, stds [][]float64
+	logPrior    []float64
+}
+
+// TrainBayes fits the naive-Bayes classifier from a labeled lab capture at
+// the given feature window.
+func TrainBayes(lab *nettrace.Capture, window time.Duration) (*BayesClassifier, error) {
+	feats, err := nettrace.ExtractFeatures(lab, window)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint bayes train: %w", err)
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("fingerprint bayes train: %w: empty capture", ErrBadInput)
+	}
+	byClass := map[nettrace.Class][][]float64{}
+	var total int
+	for dev, fs := range feats {
+		class, err := lab.DeviceClass(dev)
+		if err != nil {
+			return nil, fmt.Errorf("fingerprint bayes train: %w", err)
+		}
+		for _, f := range fs {
+			byClass[class] = append(byClass[class], f.Vector())
+			total++
+		}
+	}
+	c := &BayesClassifier{window: window}
+	for _, class := range nettrace.Classes() {
+		vecs := byClass[class]
+		if len(vecs) < 4 {
+			continue
+		}
+		means := make([]float64, nettrace.FeatureDim)
+		stds := make([]float64, nettrace.FeatureDim)
+		for d := 0; d < nettrace.FeatureDim; d++ {
+			var sum float64
+			for _, v := range vecs {
+				sum += v[d]
+			}
+			means[d] = sum / float64(len(vecs))
+			var ss float64
+			for _, v := range vecs {
+				diff := v[d] - means[d]
+				ss += diff * diff
+			}
+			stds[d] = math.Sqrt(ss / float64(len(vecs)))
+			if stds[d] < 0.05 {
+				// Variance floor: a dimension that never varied in the lab
+				// would otherwise veto any test sample that differs at all.
+				stds[d] = 0.05
+			}
+		}
+		c.classes = append(c.classes, class)
+		c.means = append(c.means, means)
+		c.stds = append(c.stds, stds)
+		c.logPrior = append(c.logPrior, math.Log(float64(len(vecs))/float64(total)))
+	}
+	if len(c.classes) == 0 {
+		return nil, fmt.Errorf("fingerprint bayes train: %w: no class has enough windows", ErrBadInput)
+	}
+	return c, nil
+}
+
+// logLikelihood scores one feature vector under one class.
+func (c *BayesClassifier) logLikelihood(ci int, v []float64) float64 {
+	ll := c.logPrior[ci]
+	for d := range v {
+		mean, std := c.means[ci][d], c.stds[ci][d]
+		z := (v[d] - mean) / std
+		ll += -0.5*z*z - math.Log(std)
+	}
+	return ll
+}
+
+// ClassifyDevice labels a device by summing per-window log-likelihoods (the
+// windows are conditionally independent given the class).
+func (c *BayesClassifier) ClassifyDevice(feats []nettrace.Features) (nettrace.Class, error) {
+	if len(feats) == 0 {
+		return 0, fmt.Errorf("bayes classify: %w: no windows", ErrBadInput)
+	}
+	best, bestLL := c.classes[0], math.Inf(-1)
+	for ci, class := range c.classes {
+		var ll float64
+		for _, f := range feats {
+			ll += c.logLikelihood(ci, f.Vector())
+		}
+		if ll > bestLL {
+			best, bestLL = class, ll
+		}
+	}
+	return best, nil
+}
+
+// IdentifyBayes classifies every device in a victim capture with the
+// naive-Bayes classifier and scores the result.
+func IdentifyBayes(c *BayesClassifier, victim *nettrace.Capture) (*Identification, error) {
+	feats, err := nettrace.ExtractFeatures(victim, c.window)
+	if err != nil {
+		return nil, fmt.Errorf("identify bayes: %w", err)
+	}
+	out := &Identification{
+		Predicted: map[string]nettrace.Class{},
+		PerClass:  map[nettrace.Class]float64{},
+	}
+	correctByClass := map[nettrace.Class]int{}
+	totalByClass := map[nettrace.Class]int{}
+	var correct, total int
+	for _, dev := range victim.Devices {
+		fs, ok := feats[dev.Name]
+		if !ok {
+			continue
+		}
+		pred, err := c.ClassifyDevice(fs)
+		if err != nil {
+			return nil, fmt.Errorf("identify bayes %q: %w", dev.Name, err)
+		}
+		out.Predicted[dev.Name] = pred
+		total++
+		totalByClass[dev.Class]++
+		if pred == dev.Class {
+			correct++
+			correctByClass[dev.Class]++
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("identify bayes: %w: no classifiable devices", ErrBadInput)
+	}
+	out.Accuracy = float64(correct) / float64(total)
+	for class, n := range totalByClass {
+		out.PerClass[class] = float64(correctByClass[class]) / float64(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+// Package fingerprint implements the traffic-analysis attack of §IV: a
+// passive observer on (or upstream of) a home LAN — a compromised device in
+// promiscuous mode, or an ISP-side eavesdropper — identifies which kinds of
+// IoT devices a home owns and profiles occupant behaviour, using only
+// encrypted-flow metadata (timing, volume, endpoints).
+//
+// Two inferences are implemented:
+//
+//   - Device identification: a nearest-centroid classifier over per-window
+//     traffic features, trained on lab captures of known devices.
+//   - Occupancy inference: activity-linked devices (cameras, TVs, speakers,
+//     locks) emit event traffic when occupants are active, so windows with
+//     event-scale flows reveal occupancy — the network-side analogue of the
+//     NIOM attack on energy data.
+package fingerprint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"privmem/internal/nettrace"
+	"privmem/internal/timeseries"
+)
+
+// ErrBadInput indicates unusable inputs.
+var ErrBadInput = errors.New("fingerprint: invalid input")
+
+// Classifier identifies device classes from traffic features.
+type Classifier struct {
+	// window is the feature window the classifier was trained at.
+	window time.Duration
+	// classes lists the known classes in training order.
+	classes []nettrace.Class
+	// centroids holds one z-scored centroid per class.
+	centroids [][]float64
+	// mean and std are the z-scoring parameters.
+	mean, std []float64
+}
+
+// Train fits a nearest-centroid classifier from a labeled lab capture: the
+// attacker records each device type in isolation (as IoT fingerprinting
+// papers do) and builds per-class centroids of the feature distribution.
+func Train(lab *nettrace.Capture, window time.Duration) (*Classifier, error) {
+	feats, err := nettrace.ExtractFeatures(lab, window)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint train: %w", err)
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("fingerprint train: %w: empty capture", ErrBadInput)
+	}
+
+	// Global z-scoring parameters.
+	var all [][]float64
+	for _, fs := range feats {
+		for _, f := range fs {
+			all = append(all, f.Vector())
+		}
+	}
+	mean := make([]float64, nettrace.FeatureDim)
+	std := make([]float64, nettrace.FeatureDim)
+	for d := 0; d < nettrace.FeatureDim; d++ {
+		var s float64
+		for _, v := range all {
+			s += v[d]
+		}
+		mean[d] = s / float64(len(all))
+		var ss float64
+		for _, v := range all {
+			diff := v[d] - mean[d]
+			ss += diff * diff
+		}
+		std[d] = math.Sqrt(ss / float64(len(all)))
+		if std[d] == 0 {
+			std[d] = 1
+		}
+	}
+
+	sums := map[nettrace.Class][]float64{}
+	counts := map[nettrace.Class]int{}
+	for dev, fs := range feats {
+		class, err := lab.DeviceClass(dev)
+		if err != nil {
+			return nil, fmt.Errorf("fingerprint train: %w", err)
+		}
+		acc, ok := sums[class]
+		if !ok {
+			acc = make([]float64, nettrace.FeatureDim)
+			sums[class] = acc
+		}
+		for _, f := range fs {
+			v := f.Vector()
+			for d := range acc {
+				acc[d] += (v[d] - mean[d]) / std[d]
+			}
+			counts[class]++
+		}
+	}
+
+	c := &Classifier{window: window, mean: mean, std: std}
+	for _, class := range nettrace.Classes() {
+		if counts[class] == 0 {
+			continue
+		}
+		centroid := make([]float64, nettrace.FeatureDim)
+		for d := range centroid {
+			centroid[d] = sums[class][d] / float64(counts[class])
+		}
+		c.classes = append(c.classes, class)
+		c.centroids = append(c.centroids, centroid)
+	}
+	if len(c.classes) == 0 {
+		return nil, fmt.Errorf("fingerprint train: %w: no labeled classes", ErrBadInput)
+	}
+	return c, nil
+}
+
+// Window returns the feature window the classifier was trained at.
+func (c *Classifier) Window() time.Duration { return c.window }
+
+// classifyVector returns the best class for one z-scored feature vector.
+func (c *Classifier) classifyVector(v []float64) nettrace.Class {
+	best, bestD := 0, math.Inf(1)
+	for i, centroid := range c.centroids {
+		var d float64
+		for k := range centroid {
+			z := (v[k]-c.mean[k])/c.std[k] - centroid[k]
+			d += z * z
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return c.classes[best]
+}
+
+// ClassifyDevice labels a device by majority vote over its windows.
+func (c *Classifier) ClassifyDevice(feats []nettrace.Features) (nettrace.Class, error) {
+	if len(feats) == 0 {
+		return 0, fmt.Errorf("classify: %w: no windows", ErrBadInput)
+	}
+	votes := map[nettrace.Class]int{}
+	for _, f := range feats {
+		votes[c.classifyVector(f.Vector())]++
+	}
+	var best nettrace.Class
+	bestN := -1
+	for _, class := range nettrace.Classes() {
+		if votes[class] > bestN {
+			best, bestN = class, votes[class]
+		}
+	}
+	return best, nil
+}
+
+// Identification is the result of classifying every device in a capture.
+type Identification struct {
+	// Predicted maps device name to inferred class.
+	Predicted map[string]nettrace.Class
+	// Accuracy is the fraction of devices classified correctly.
+	Accuracy float64
+	// PerClass maps each true class to its recall.
+	PerClass map[nettrace.Class]float64
+}
+
+// Identify classifies every device in a victim capture and scores the
+// result against ground truth.
+func Identify(c *Classifier, victim *nettrace.Capture) (*Identification, error) {
+	feats, err := nettrace.ExtractFeatures(victim, c.window)
+	if err != nil {
+		return nil, fmt.Errorf("identify: %w", err)
+	}
+	out := &Identification{
+		Predicted: map[string]nettrace.Class{},
+		PerClass:  map[nettrace.Class]float64{},
+	}
+	correctByClass := map[nettrace.Class]int{}
+	totalByClass := map[nettrace.Class]int{}
+	var correct, total int
+	for _, dev := range victim.Devices {
+		fs, ok := feats[dev.Name]
+		if !ok {
+			continue
+		}
+		pred, err := c.ClassifyDevice(fs)
+		if err != nil {
+			return nil, fmt.Errorf("identify %q: %w", dev.Name, err)
+		}
+		out.Predicted[dev.Name] = pred
+		total++
+		totalByClass[dev.Class]++
+		if pred == dev.Class {
+			correct++
+			correctByClass[dev.Class]++
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("identify: %w: no classifiable devices", ErrBadInput)
+	}
+	out.Accuracy = float64(correct) / float64(total)
+	for class, n := range totalByClass {
+		out.PerClass[class] = float64(correctByClass[class]) / float64(n)
+	}
+	return out, nil
+}
+
+// OccupancyConfig parameterizes traffic-based occupancy inference.
+type OccupancyConfig struct {
+	// Window is the inference granularity (default 15 minutes).
+	Window time.Duration
+	// EventBytes is the flow volume (up+down) above which a flow counts as
+	// an activity event rather than a heartbeat (default 50 kB).
+	EventBytes int
+	// MinEvents is the number of event flows per window that indicates
+	// occupancy (default 2).
+	MinEvents int
+}
+
+// DefaultOccupancyConfig returns the inference configuration used in the
+// experiments.
+func DefaultOccupancyConfig() OccupancyConfig {
+	return OccupancyConfig{Window: 15 * time.Minute, EventBytes: 50_000, MinEvents: 2}
+}
+
+// InferOccupancy predicts binary occupancy from a capture: windows with
+// enough event-scale flows across the LAN are labeled occupied. The output
+// series covers the capture span at the configured window.
+func InferOccupancy(cap *nettrace.Capture, cfg OccupancyConfig) (*timeseries.Series, error) {
+	d := DefaultOccupancyConfig()
+	if cfg.Window == 0 {
+		cfg.Window = d.Window
+	}
+	if cfg.EventBytes == 0 {
+		cfg.EventBytes = d.EventBytes
+	}
+	if cfg.MinEvents == 0 {
+		cfg.MinEvents = d.MinEvents
+	}
+	if cfg.Window <= 0 || cfg.EventBytes <= 0 || cfg.MinEvents <= 0 {
+		return nil, fmt.Errorf("infer occupancy: %w: non-positive config", ErrBadInput)
+	}
+	n := int(cap.End.Sub(cap.Start) / cfg.Window)
+	if n <= 0 {
+		return nil, fmt.Errorf("infer occupancy: %w: empty capture span", ErrBadInput)
+	}
+	counts := make([]int, n)
+	for _, r := range cap.Records {
+		if r.BytesUp+r.BytesDown < cfg.EventBytes {
+			continue
+		}
+		w := int(r.Time.Sub(cap.Start) / cfg.Window)
+		if w >= 0 && w < n {
+			counts[w]++
+		}
+	}
+	out := timeseries.MustNew(cap.Start, cfg.Window, n)
+	for i, c := range counts {
+		if c >= cfg.MinEvents {
+			out.Values[i] = 1
+		}
+	}
+	return out, nil
+}

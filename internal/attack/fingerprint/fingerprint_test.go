@@ -1,0 +1,188 @@
+package fingerprint
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"privmem/internal/attack/niom"
+	"privmem/internal/home"
+	"privmem/internal/nettrace"
+)
+
+// labCapture is a 2-day one-of-each-class training capture.
+func labCapture(t *testing.T, seed int64) *nettrace.Capture {
+	t.Helper()
+	cfg := nettrace.DefaultConfig(seed)
+	cfg.Days = 2
+	cfg.Counts = map[nettrace.Class]int{}
+	for _, c := range nettrace.Classes() {
+		cfg.Counts[c] = 1
+	}
+	cap, err := nettrace.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cap
+}
+
+func TestTrainAndIdentify(t *testing.T) {
+	clf, err := Train(labCapture(t, 1), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clf.Window() != time.Hour {
+		t.Errorf("window = %v", clf.Window())
+	}
+	vcfg := nettrace.DefaultConfig(2)
+	victim, err := nettrace.Simulate(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := Identify(clf, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's threat: most of a 38-device LAN identified from metadata.
+	if id.Accuracy < 0.7 {
+		t.Errorf("identification accuracy = %.3f, want > 0.7", id.Accuracy)
+	}
+	if len(id.Predicted) < 30 {
+		t.Errorf("only %d devices classified", len(id.Predicted))
+	}
+	// Distinctive heavy-traffic classes should be recognized reliably.
+	if id.PerClass[nettrace.ClassCamera] < 0.5 {
+		t.Errorf("camera recall = %.2f", id.PerClass[nettrace.ClassCamera])
+	}
+}
+
+func TestOccupancyInferenceTracksGroundTruth(t *testing.T) {
+	hcfg := home.DefaultConfig(3)
+	hcfg.Days = 7
+	tr, err := home.Simulate(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := nettrace.DefaultConfig(4)
+	vcfg.Activity = tr.Active
+	victim, err := nettrace.Simulate(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := InferOccupancy(victim, DefaultOccupancyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := niom.EvaluateDaytime(tr.Occupancy, pred, 8, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traffic metadata leaks occupancy at least as strongly as power data.
+	if ev.MCC < 0.5 {
+		t.Errorf("traffic occupancy MCC = %.3f, want > 0.5", ev.MCC)
+	}
+	if ev.Accuracy < 0.75 {
+		t.Errorf("traffic occupancy accuracy = %.3f", ev.Accuracy)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	empty := &nettrace.Capture{}
+	if _, err := Train(empty, time.Hour); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty capture error = %v", err)
+	}
+	if _, err := Train(labCapture(t, 5), 0); err == nil {
+		t.Error("zero window should fail")
+	}
+}
+
+func TestClassifyDeviceValidation(t *testing.T) {
+	clf, err := Train(labCapture(t, 6), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clf.ClassifyDevice(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no windows error = %v", err)
+	}
+}
+
+func TestInferOccupancyValidation(t *testing.T) {
+	cap := labCapture(t, 7)
+	cfg := DefaultOccupancyConfig()
+	cfg.Window = -time.Minute
+	if _, err := InferOccupancy(cap, cfg); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative window error = %v", err)
+	}
+	empty := &nettrace.Capture{Start: cap.Start, End: cap.Start}
+	if _, err := InferOccupancy(empty, DefaultOccupancyConfig()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty span error = %v", err)
+	}
+}
+
+func TestBayesClassifier(t *testing.T) {
+	clf, err := TrainBayes(labCapture(t, 8), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := nettrace.DefaultConfig(9)
+	victim, err := nettrace.Simulate(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := IdentifyBayes(clf, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Accuracy < 0.6 {
+		t.Errorf("bayes identification accuracy = %.3f", id.Accuracy)
+	}
+	if len(id.Predicted) < 30 {
+		t.Errorf("only %d devices classified", len(id.Predicted))
+	}
+}
+
+func TestBayesValidation(t *testing.T) {
+	empty := &nettrace.Capture{}
+	if _, err := TrainBayes(empty, time.Hour); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty capture error = %v", err)
+	}
+	clf, err := TrainBayes(labCapture(t, 10), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clf.ClassifyDevice(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no windows error = %v", err)
+	}
+}
+
+func TestBayesAndCentroidAgreeOnDistinctiveClasses(t *testing.T) {
+	lab := labCapture(t, 11)
+	nc, err := Train(lab, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := TrainBayes(lab, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := nettrace.Simulate(nettrace.DefaultConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idNC, err := Identify(nc, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idNB, err := IdentifyBayes(nb, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hub's traffic is unique (shortest heartbeat, relay events): both
+	// classifiers must get it right.
+	if idNC.Predicted["hub-01"] != nettrace.ClassHub {
+		t.Error("centroid missed the hub")
+	}
+	if idNB.Predicted["hub-01"] != nettrace.ClassHub {
+		t.Error("bayes missed the hub")
+	}
+}

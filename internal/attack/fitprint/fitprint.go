@@ -1,0 +1,231 @@
+// Package fitprint implements the §II-C fitness-tracker attacks: inferring
+// a user's home location from the start/end points of their recorded runs,
+// detecting irregular heart rhythms from heart-rate streams (the Apple
+// Watch AFib scenario [23]), and the Strava-style heatmap attack [6] that
+// exposes sensitive facilities from "anonymous" aggregate activity maps.
+// The privacy-zone defense (and its known weakness) lives here too, since
+// it is evaluated against these attacks.
+package fitprint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"privmem/internal/fitsim"
+	"privmem/internal/metrics"
+	"privmem/internal/stats"
+)
+
+// ErrBadInput indicates unusable inputs.
+var ErrBadInput = errors.New("fitprint: invalid input")
+
+// InferHome estimates a user's home from their activities' start and end
+// points: endpoints are clustered into 200 m cells, and the densest
+// cluster's median is the estimate. Runs overwhelmingly begin and end at
+// home — the leak the paper describes — and the clustering step keeps
+// drive-to-trailhead runs from diluting the estimate.
+func InferHome(acts []fitsim.Activity) (lat, lon float64, err error) {
+	if len(acts) == 0 {
+		return 0, 0, fmt.Errorf("%w: no activities", ErrBadInput)
+	}
+	type pt struct{ lat, lon float64 }
+	var pts []pt
+	for _, a := range acts {
+		if len(a.Points) == 0 {
+			continue
+		}
+		first, last := a.Points[0], a.Points[len(a.Points)-1]
+		pts = append(pts, pt{first.Lat, first.Lon}, pt{last.Lat, last.Lon})
+	}
+	if len(pts) == 0 {
+		return 0, 0, fmt.Errorf("%w: activities carry no points", ErrBadInput)
+	}
+	// Densest 200 m cell wins.
+	const cellKm = 0.2
+	cells := map[[2]int][]pt{}
+	var bestKey [2]int
+	for _, p := range pts {
+		key := [2]int{
+			int(math.Floor(p.lat * 111.2 / cellKm)),
+			int(math.Floor(p.lon * 111.2 * math.Cos(p.lat*math.Pi/180) / cellKm)),
+		}
+		cells[key] = append(cells[key], p)
+		if len(cells[key]) > len(cells[bestKey]) {
+			bestKey = key
+		}
+	}
+	// Median over the winning cell and its neighbours (a home on a cell
+	// boundary splits across cells).
+	var lats, lons []float64
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, p := range cells[[2]int{bestKey[0] + dx, bestKey[1] + dy}] {
+				lats = append(lats, p.lat)
+				lons = append(lons, p.lon)
+			}
+		}
+	}
+	return stats.Median(lats), stats.Median(lons), nil
+}
+
+// InferHomeBoundary is the counter-attack to privacy zones: each activity's
+// first visible point sits where the track resumed at the zone boundary,
+// and because runs leave home in varied directions those points ring the
+// true home. The coordinate-wise median of first points therefore lands
+// near the zone center — the home the zone was meant to hide.
+func InferHomeBoundary(acts []fitsim.Activity) (lat, lon float64, err error) {
+	if len(acts) == 0 {
+		return 0, 0, fmt.Errorf("%w: no activities", ErrBadInput)
+	}
+	var lats, lons []float64
+	for _, a := range acts {
+		if len(a.Points) == 0 {
+			continue
+		}
+		lats = append(lats, a.Points[0].Lat)
+		lons = append(lons, a.Points[0].Lon)
+	}
+	if len(lats) == 0 {
+		return 0, 0, fmt.Errorf("%w: activities carry no points", ErrBadInput)
+	}
+	return stats.Median(lats), stats.Median(lons), nil
+}
+
+// IrregularRhythm reports whether a user's heart-rate streams show the
+// beat-to-beat irregularity signature, using the mean RMSSD (root mean
+// square of successive differences) across activities against a fixed
+// threshold — the screening statistic behind consumer AFib detection.
+func IrregularRhythm(acts []fitsim.Activity) (score float64, flagged bool, err error) {
+	if len(acts) == 0 {
+		return 0, false, fmt.Errorf("%w: no activities", ErrBadInput)
+	}
+	var scores []float64
+	for _, a := range acts {
+		if len(a.HeartRate) < 8 {
+			continue
+		}
+		var ss float64
+		for i := 1; i < len(a.HeartRate); i++ {
+			d := a.HeartRate[i] - a.HeartRate[i-1]
+			ss += d * d
+		}
+		scores = append(scores, math.Sqrt(ss/float64(len(a.HeartRate)-1)))
+	}
+	if len(scores) == 0 {
+		return 0, false, fmt.Errorf("%w: heart-rate streams too short", ErrBadInput)
+	}
+	score = stats.Mean(scores)
+	const rmssdThreshold = 18 // BPM: healthy workout variability sits well below
+	return score, score > rmssdThreshold, nil
+}
+
+// Hotspot is one revealed cell of the aggregate heatmap.
+type Hotspot struct {
+	// Lat and Lon are the cell center.
+	Lat, Lon float64
+	// Users counts distinct contributors.
+	Users int
+	// Points counts GPS samples.
+	Points int
+}
+
+// Heatmap aggregates every activity's points into cells of the given size
+// (km) and returns the cells sorted by point count, descending — the public
+// "global activity map" of the Strava incident. minUsers suppresses cells
+// with fewer distinct contributors (the k-anonymity fix Strava adopted);
+// zero disables suppression.
+func Heatmap(world *fitsim.World, cellKm float64, minUsers int) ([]Hotspot, error) {
+	if cellKm <= 0 {
+		return nil, fmt.Errorf("%w: cell size %v km", ErrBadInput, cellKm)
+	}
+	type cell struct {
+		users  map[int]bool
+		points int
+		lat    float64
+		lon    float64
+		n      int
+	}
+	cells := map[[2]int]*cell{}
+	for _, a := range world.Activities {
+		for _, p := range a.Points {
+			key := [2]int{
+				int(math.Floor(p.Lat * 111.2 / cellKm)),
+				int(math.Floor(p.Lon * 111.2 * math.Cos(p.Lat*math.Pi/180) / cellKm)),
+			}
+			c, ok := cells[key]
+			if !ok {
+				c = &cell{users: map[int]bool{}}
+				cells[key] = c
+			}
+			c.users[a.User] = true
+			c.points++
+			c.lat += p.Lat
+			c.lon += p.Lon
+			c.n++
+		}
+	}
+	var out []Hotspot
+	for _, c := range cells {
+		if minUsers > 0 && len(c.users) < minUsers {
+			continue
+		}
+		out = append(out, Hotspot{
+			Lat:    c.lat / float64(c.n),
+			Lon:    c.lon / float64(c.n),
+			Users:  len(c.users),
+			Points: c.points,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Points != out[j].Points {
+			return out[i].Points > out[j].Points
+		}
+		if out[i].Lat != out[j].Lat {
+			return out[i].Lat < out[j].Lat
+		}
+		return out[i].Lon < out[j].Lon
+	})
+	return out, nil
+}
+
+// RevealedKm returns how closely the heatmap's densest remote hotspot pins
+// a secret location: the distance from the target to the nearest of the top
+// k hotspots.
+func RevealedKm(hotspots []Hotspot, topK int, lat, lon float64) float64 {
+	best := math.Inf(1)
+	for i, h := range hotspots {
+		if i >= topK {
+			break
+		}
+		if d := metrics.HaversineKm(lat, lon, h.Lat, h.Lon); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ApplyPrivacyZone returns copies of the activities with every point within
+// radiusKm of (lat, lon) removed — the "privacy zone" feature fitness apps
+// offer. Activities left with fewer than two points are dropped.
+func ApplyPrivacyZone(acts []fitsim.Activity, lat, lon, radiusKm float64) ([]fitsim.Activity, error) {
+	if radiusKm <= 0 {
+		return nil, fmt.Errorf("%w: radius %v km", ErrBadInput, radiusKm)
+	}
+	var out []fitsim.Activity
+	for _, a := range acts {
+		trimmed := fitsim.Activity{User: a.User, Start: a.Start}
+		for i, p := range a.Points {
+			if metrics.HaversineKm(lat, lon, p.Lat, p.Lon) < radiusKm {
+				continue
+			}
+			trimmed.Points = append(trimmed.Points, p)
+			trimmed.HeartRate = append(trimmed.HeartRate, a.HeartRate[i])
+		}
+		if len(trimmed.Points) >= 2 {
+			out = append(out, trimmed)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,241 @@
+package fitprint
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"privmem/internal/fitsim"
+	"privmem/internal/metrics"
+)
+
+func sortFloats(xs []float64) { sort.Float64s(xs) }
+
+func town(t *testing.T, seed int64) *fitsim.World {
+	t.Helper()
+	w, err := fitsim.Simulate(fitsim.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestInferHomeAccurate(t *testing.T) {
+	w := town(t, 1)
+	var tested, within200m int
+	var errs []float64
+	for u, user := range w.Users {
+		acts := w.ActivitiesOf(u)
+		if len(acts) < 4 {
+			continue
+		}
+		lat, lon, err := InferHome(acts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := metrics.HaversineKm(user.HomeLat, user.HomeLon, lat, lon)
+		errs = append(errs, d)
+		if d < 0.2 {
+			within200m++
+		}
+		tested++
+	}
+	if tested < 20 {
+		t.Fatalf("only %d users had enough activities", tested)
+	}
+	// Most homes localize to the doorstep; trail-heavy users may resolve to
+	// the shared trailhead instead.
+	if frac := float64(within200m) / float64(tested); frac < 0.8 {
+		t.Errorf("only %.0f%% of homes within 200 m", frac*100)
+	}
+	sortFloats(errs)
+	if med := errs[len(errs)/2]; med > 0.05 {
+		t.Errorf("median home error = %.3f km, want < 50 m", med)
+	}
+}
+
+func TestInferHomeValidation(t *testing.T) {
+	if _, _, err := InferHome(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no activities error = %v", err)
+	}
+	empty := []fitsim.Activity{{User: 0}}
+	if _, _, err := InferHome(empty); !errors.Is(err, ErrBadInput) {
+		t.Errorf("pointless activities error = %v", err)
+	}
+}
+
+func TestIrregularRhythmSeparates(t *testing.T) {
+	cfg := fitsim.DefaultConfig(2)
+	cfg.ArrhythmiaFraction = 0.25
+	w, err := fitsim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp, fp, fn, tn int
+	for u, user := range w.Users {
+		acts := w.ActivitiesOf(u)
+		if len(acts) < 4 {
+			continue
+		}
+		_, flagged, err := IrregularRhythm(acts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case user.Arrhythmia && flagged:
+			tp++
+		case user.Arrhythmia && !flagged:
+			fn++
+		case !user.Arrhythmia && flagged:
+			fp++
+		default:
+			tn++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("no arrhythmia detected at all")
+	}
+	if fn > tp/2 {
+		t.Errorf("missed %d of %d arrhythmia users", fn, tp+fn)
+	}
+	if fp > tn/10 {
+		t.Errorf("%d false positives among %d healthy users", fp, fp+tn)
+	}
+}
+
+func TestHeatmapRevealsFacility(t *testing.T) {
+	w := town(t, 3)
+	fac := fitsim.DefaultFacility(3)
+	if _, err := w.AddFacility(fac); err != nil {
+		t.Fatal(err)
+	}
+	spots, err := Heatmap(w, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := RevealedKm(spots, 5, fac.Lat, fac.Lon); d > 1.5 {
+		t.Errorf("facility not revealed: nearest top hotspot %.1f km away", d)
+	}
+}
+
+func TestHeatmapSuppressionHidesFacility(t *testing.T) {
+	// The Strava fix: suppress cells with few distinct users. The facility
+	// has 12 personnel, so k=20 hides it while the town (40 users) keeps
+	// its popular areas.
+	w := town(t, 4)
+	fac := fitsim.DefaultFacility(4)
+	if _, err := w.AddFacility(fac); err != nil {
+		t.Fatal(err)
+	}
+	spots, err := Heatmap(w, 0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := RevealedKm(spots, 10, fac.Lat, fac.Lon); d < 5 {
+		t.Errorf("suppressed heatmap still reveals facility at %.1f km", d)
+	}
+}
+
+func TestPrivacyZoneReducesButLeaks(t *testing.T) {
+	w := town(t, 5)
+	user := -1
+	for u := range w.Users {
+		if len(w.ActivitiesOf(u)) >= 8 {
+			user = u
+			break
+		}
+	}
+	if user < 0 {
+		t.Fatal("no active user found")
+	}
+	truth := w.Users[user]
+	acts := w.ActivitiesOf(user)
+
+	lat0, lon0, err := InferHome(acts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := metrics.HaversineKm(truth.HomeLat, truth.HomeLon, lat0, lon0)
+
+	zoned, err := ApplyPrivacyZone(acts, truth.HomeLat, truth.HomeLon, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat1, lon1, err := InferHome(zoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defended := metrics.HaversineKm(truth.HomeLat, truth.HomeLon, lat1, lon1)
+
+	if defended <= raw {
+		t.Errorf("privacy zone did not increase error: %.3f -> %.3f km", raw, defended)
+	}
+	// The known weakness: tracks resume at the zone boundary in every
+	// direction, so the endpoint median still circles the true home at
+	// roughly the zone radius — the home is hidden to ~1 km, not truly
+	// anonymous.
+	if defended > 3.0 {
+		t.Errorf("defended error %.3f km implausibly large for a 1 km zone", defended)
+	}
+	for _, a := range zoned {
+		for _, p := range a.Points {
+			if metrics.HaversineKm(truth.HomeLat, truth.HomeLon, p.Lat, p.Lon) < 1.0 {
+				t.Fatal("privacy zone leaked an in-zone point")
+			}
+		}
+	}
+}
+
+func TestPrivacyZoneValidation(t *testing.T) {
+	if _, err := ApplyPrivacyZone(nil, 0, 0, -1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative radius error = %v", err)
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	w := town(t, 6)
+	if _, err := Heatmap(w, 0, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero cell error = %v", err)
+	}
+}
+
+func TestBoundaryAttackDefeatsPrivacyZone(t *testing.T) {
+	// The classic re-identification: tracks resume at the zone boundary in
+	// varied directions, so the median of first-visible points rings the
+	// hidden home.
+	w := town(t, 7)
+	var tested, close int
+	for u, user := range w.Users {
+		acts := w.ActivitiesOf(u)
+		if len(acts) < 6 {
+			continue
+		}
+		zoned, err := ApplyPrivacyZone(acts, user.HomeLat, user.HomeLon, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(zoned) < 4 {
+			continue
+		}
+		lat, lon, err := InferHomeBoundary(zoned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		if metrics.HaversineKm(user.HomeLat, user.HomeLon, lat, lon) < 1.5 {
+			close++
+		}
+	}
+	if tested < 15 {
+		t.Fatalf("only %d users testable", tested)
+	}
+	if frac := float64(close) / float64(tested); frac < 0.7 {
+		t.Errorf("boundary attack located only %.0f%% of zoned homes within 1.5 km", frac*100)
+	}
+}
+
+func TestInferHomeBoundaryValidation(t *testing.T) {
+	if _, _, err := InferHomeBoundary(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no activities error = %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package nilm
+
+import (
+	"testing"
+	"time"
+
+	"privmem/internal/home"
+	"privmem/internal/loads"
+	"privmem/internal/meter"
+)
+
+// BenchmarkPowerPlayWeek measures the online tracker over a week of
+// 10-second samples (60480 samples, 5 tracked devices).
+func BenchmarkPowerPlayWeek(b *testing.B) {
+	cfg := home.DefaultConfig(42)
+	cfg.Days = 7
+	cfg.Step = 10 * time.Second
+	cfg.IncludeWaterHeater = false
+	tr, err := home.Simulate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := meter.DefaultConfig(42)
+	mc.Interval = cfg.Step
+	metered, err := meter.Read(mc, tr.Aggregate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var models []loads.Model
+	for _, name := range loads.TrackedDevices() {
+		m, err := loads.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PowerPlay(metered, models, DefaultPowerPlayConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(metered.Len())/1e3, "ksamples")
+}

@@ -1,0 +1,60 @@
+package nilm
+
+import (
+	"fmt"
+	"sort"
+
+	"privmem/internal/metrics"
+	"privmem/internal/timeseries"
+)
+
+// DeviceError is one device's disaggregation score.
+type DeviceError struct {
+	// Device is the appliance name.
+	Device string
+	// ErrorFactor is the paper's tracking error: cumulative absolute power
+	// error normalized by the device's total actual usage (0 = perfect,
+	// 1 = as bad as inferring zero).
+	ErrorFactor float64
+	// ActualWh and InferredWh are total energies, for energy-level
+	// comparisons.
+	ActualWh, InferredWh float64
+}
+
+// Evaluate scores inferred traces against ground truth for every device
+// present in both maps, returning results sorted by device name. Ground
+// truth recorded at a finer step than the inference is resampled to match;
+// incompatible steps are an error (silent sample-index comparison across
+// different steps would be meaningless).
+func Evaluate(truth, inferred map[string]*timeseries.Series) ([]DeviceError, error) {
+	names := make([]string, 0, len(inferred))
+	for name := range inferred {
+		if _, ok := truth[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]DeviceError, 0, len(names))
+	for _, name := range names {
+		tr, inf := truth[name], inferred[name]
+		if tr.Step != inf.Step {
+			resampled, err := tr.Resample(inf.Step)
+			if err != nil {
+				return nil, fmt.Errorf("nilm evaluate %q: align truth: %w", name, err)
+			}
+			tr = resampled
+		}
+		n := min(tr.Len(), inf.Len())
+		ef, err := metrics.DisaggregationError(tr.Values[:n], inf.Values[:n])
+		if err != nil {
+			return nil, fmt.Errorf("nilm evaluate %q: %w", name, err)
+		}
+		out = append(out, DeviceError{
+			Device:      name,
+			ErrorFactor: ef,
+			ActualWh:    tr.Energy(),
+			InferredWh:  inf.Energy(),
+		})
+	}
+	return out, nil
+}

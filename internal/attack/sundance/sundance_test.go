@@ -1,0 +1,166 @@
+package sundance
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"privmem/internal/home"
+	"privmem/internal/meter"
+	"privmem/internal/metrics"
+	"privmem/internal/solarsim"
+	"privmem/internal/timeseries"
+	"privmem/internal/weather"
+)
+
+var sdStart = time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+
+// solarHome builds a net-meter trace for a home with rooftop solar, plus the
+// ground-truth components and the public station set.
+func solarHome(t *testing.T, seed int64, days int) (net, genTruth, consTruth *timeseries.Series, stations []weather.Station) {
+	t.Helper()
+	field, err := weather.NewField(weather.DefaultFieldConfig(seed), sdStart, days*24, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stations, err = weather.StationGrid(field, 41, 44, -74, -71, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := solarsim.Site{
+		Name: "home-pv", Lat: 42.37, Lon: -72.51, CapacityW: 6000,
+		TiltDeg: 25, AzimuthDeg: 180, NoiseStd: 0.01,
+	}
+	genTruth, err = solarsim.Generate(site, field, sdStart, days, time.Minute, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := home.DefaultConfig(seed)
+	cfg.Days = days
+	tr, err := home.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consTruth = tr.Aggregate
+	netTruth, err := meter.Net(consTruth, genTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := meter.DefaultConfig(seed)
+	net, err = meter.ReadNet(mc, netTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, genTruth, consTruth, stations
+}
+
+func TestDisaggregateRecoversComponents(t *testing.T) {
+	net, genTruth, consTruth, stations := solarHome(t, 31, 28)
+	res, err := Disaggregate(net, stations, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	genH, err := genTruth.Resample(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consH, err := consTruth.Resample(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genErr, err := metrics.DisaggregationError(genH.Values, res.Generation.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consErr, err := metrics.DisaggregationError(consH.Values, res.Consumption.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gen error=%.3f cons error=%.3f capacity=%.0f W", genErr, consErr, res.CapacityW)
+	if genErr > 0.25 {
+		t.Errorf("generation error factor = %.3f, want < 0.25", genErr)
+	}
+	if consErr > 0.45 {
+		t.Errorf("consumption error factor = %.3f, want < 0.45", consErr)
+	}
+	if res.CapacityW < 4000 || res.CapacityW > 9000 {
+		t.Errorf("capacity estimate = %.0f W for a 6 kW array", res.CapacityW)
+	}
+	if d := metrics.HaversineKm(42.37, -72.51, res.Lat, res.Lon); d > 30 {
+		t.Errorf("embedded localization error = %.1f km", d)
+	}
+}
+
+func TestDisaggregateEnergyBalance(t *testing.T) {
+	net, _, _, stations := solarHome(t, 32, 21)
+	res, err := Disaggregate(net, stations, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cons - gen must reproduce net wherever consumption was not clamped.
+	netH, err := net.Resample(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := res.Consumption.Sub(res.Generation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mism int
+	for i := range diff.Values {
+		if res.Consumption.Values[i] > 0 {
+			if d := diff.Values[i] - netH.Values[i]; d > 1 || d < -1 {
+				mism++
+			}
+		}
+	}
+	if mism > diff.Len()/100 {
+		t.Errorf("energy balance violated at %d/%d samples", mism, diff.Len())
+	}
+	for _, v := range res.Consumption.Values {
+		if v < 0 {
+			t.Fatal("negative consumption")
+		}
+	}
+	for _, v := range res.Generation.Values {
+		if v < 0 {
+			t.Fatal("negative generation")
+		}
+	}
+}
+
+func TestDisaggregateRejectsNonSolarHome(t *testing.T) {
+	cfg := home.DefaultConfig(33)
+	cfg.Days = 14
+	tr, err := home.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := meter.Read(meter.DefaultConfig(33), tr.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, err := weather.NewField(weather.DefaultFieldConfig(33), sdStart, 14*24, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stations, err := weather.StationGrid(field, 41, 43, -73, -71, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Disaggregate(m, stations, DefaultConfig()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("non-solar home error = %v, want ErrBadInput", err)
+	}
+}
+
+func TestDisaggregateValidation(t *testing.T) {
+	net := timeseries.MustNew(sdStart, time.Hour, 24*14)
+	if _, err := Disaggregate(net, nil, DefaultConfig()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no stations error = %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.MinExportW = -1
+	if _, err := Disaggregate(net, []weather.Station{{}}, cfg); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative export threshold error = %v", err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package sunspot implements the SunSpot localization attack [4]: recovering
+// the location of an "anonymous" solar-powered home from nothing but its
+// generation time series. Generation reveals when the sun rises and sets
+// (generation starts and stops) and when it peaks (solar noon); those times
+// are governed by latitude and longitude (package sun), so aggregating
+// noisy per-day estimates over many days localizes the site.
+package sunspot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"privmem/internal/stats"
+	"privmem/internal/sun"
+	"privmem/internal/timeseries"
+)
+
+// ErrBadInput indicates an unusable generation trace.
+var ErrBadInput = errors.New("sunspot: invalid input")
+
+// Config parameterizes the attack.
+type Config struct {
+	// Threshold is the fraction of a day's peak generation that marks
+	// production start/stop (default 0.03).
+	Threshold float64
+	// MinPeakW skips days whose peak generation is below this (deeply
+	// overcast days carry almost no sunrise signal; default 200 W).
+	MinPeakW float64
+	// MinDays is the minimum number of usable days (default 10).
+	MinDays int
+}
+
+// DefaultConfig returns the attack configuration used in the experiments.
+func DefaultConfig() Config {
+	return Config{Threshold: 0.03, MinPeakW: 200, MinDays: 10}
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	d := DefaultConfig()
+	if out.Threshold == 0 {
+		out.Threshold = d.Threshold
+	}
+	if out.MinPeakW == 0 {
+		out.MinPeakW = d.MinPeakW
+	}
+	if out.MinDays == 0 {
+		out.MinDays = d.MinDays
+	}
+	return out
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Threshold <= 0 || c.Threshold >= 0.5:
+		return fmt.Errorf("%w: threshold %v", ErrBadInput, c.Threshold)
+	case c.MinPeakW < 0:
+		return fmt.Errorf("%w: min peak %v W", ErrBadInput, c.MinPeakW)
+	case c.MinDays < 1:
+		return fmt.Errorf("%w: min days %d", ErrBadInput, c.MinDays)
+	}
+	return nil
+}
+
+// Estimate is a recovered site location.
+type Estimate struct {
+	// Lat and Lon are the inferred coordinates in degrees.
+	Lat, Lon float64
+	// DaysUsed counts the per-day estimates aggregated.
+	DaysUsed int
+}
+
+// dayAnchor holds one day's extracted solar timing.
+type dayAnchor struct {
+	date                  time.Time
+	sunriseMin, sunsetMin float64
+}
+
+// Localize runs SunSpot on a generation trace (any uniform step; UTC
+// timestamps) and returns the inferred location.
+func Localize(gen *timeseries.Series, cfg Config) (Estimate, error) {
+	cfg = cfg.withDefaults()
+	var est Estimate
+	if err := cfg.validate(); err != nil {
+		return est, err
+	}
+	perDay := int(24 * time.Hour / gen.Step)
+	if perDay < 24 || gen.Len() < perDay {
+		return est, fmt.Errorf("%w: need at least one day at <= 1 h resolution", ErrBadInput)
+	}
+
+	anchors := extractAnchors(gen, cfg)
+	if len(anchors) < cfg.MinDays {
+		return est, fmt.Errorf("%w: only %d usable days (need %d)",
+			ErrBadInput, len(anchors), cfg.MinDays)
+	}
+
+	// Longitude: the midpoint of the production window tracks solar noon
+	// (the dawn/dusk threshold lag is symmetric and cancels), and solar
+	// noon plus the equation of time yields longitude directly.
+	lons := make([]float64, 0, len(anchors))
+	for _, a := range anchors {
+		noonMin := (a.sunriseMin + a.sunsetMin) / 2
+		eq := sun.EquationOfTime(a.date.Add(12 * time.Hour))
+		lons = append(lons, (720-eq-noonMin)/4)
+	}
+	est.Lon = stats.Median(lons)
+
+	// Latitude: a single day's window length cannot separate latitude from
+	// the site's unknown panel geometry (both stretch the curve), but the
+	// *seasonal trend* of the window length depends only on latitude while
+	// the geometry offset is nearly constant. Fit (latitude, constant
+	// offset) jointly against the modeled windows across all usable days.
+	lat, err := fitLatitude(anchors, cfg)
+	if err != nil {
+		return est, err
+	}
+	est.Lat = lat
+	est.DaysUsed = len(anchors)
+	return est, nil
+}
+
+// fitLatitude fits the latitude whose modeled seasonal window-length trend
+// best matches the observations, allowing a constant per-site offset (the
+// signature of unknown tilt/azimuth). The offset is the robust median
+// residual; the fit minimizes the median absolute deviation around it.
+func fitLatitude(anchors []dayAnchor, cfg Config) (float64, error) {
+	// Thin to at most maxFitDates evenly spaced days: the model evaluation
+	// dominates cost, and evenly spaced days preserve the seasonal span.
+	const maxFitDates = 30
+	if stride := (len(anchors) + maxFitDates - 1) / maxFitDates; stride > 1 {
+		thinned := make([]dayAnchor, 0, maxFitDates)
+		for i := 0; i < len(anchors); i += stride {
+			thinned = append(thinned, anchors[i])
+		}
+		anchors = thinned
+	}
+	obs := make([]float64, len(anchors))
+	for i, a := range anchors {
+		obs[i] = a.sunsetMin - a.sunriseMin
+	}
+	score := func(lat, tilt float64) (float64, bool) {
+		resid := make([]float64, 0, len(anchors))
+		for i, a := range anchors {
+			mLen, ok := modelWindowLen(a.date, lat, tilt, cfg.Threshold)
+			if !ok {
+				continue
+			}
+			resid = append(resid, obs[i]-mLen)
+		}
+		if len(resid) < cfg.MinDays {
+			return 0, false
+		}
+		offset := stats.Median(resid)
+		var sse float64
+		for _, r := range resid {
+			d := r - offset
+			sse += d * d
+		}
+		return sse / float64(len(resid)), true
+	}
+	// The seasonal trend identifies latitude; the unknown tilt bends the
+	// trend too, so fit it jointly from a small candidate set.
+	tilts := []float64{18, 25, 32}
+	bestLat, bestTilt, bestS := 0.0, modelTiltDeg, math.Inf(1)
+	const lo, hi, coarse = -60.0, 60.0, 2.0
+	for _, tilt := range tilts {
+		for lat := lo; lat <= hi; lat += coarse {
+			if s, ok := score(lat, tilt); ok && s < bestS {
+				bestLat, bestTilt, bestS = lat, tilt, s
+			}
+		}
+	}
+	if math.IsInf(bestS, 1) {
+		return 0, fmt.Errorf("%w: latitude fit found no valid model days", ErrBadInput)
+	}
+	a, b := bestLat-coarse, bestLat+coarse
+	for i := 0; i < 24; i++ {
+		m1 := a + (b-a)*0.382
+		m2 := a + (b-a)*0.618
+		s1, ok1 := score(m1, bestTilt)
+		s2, ok2 := score(m2, bestTilt)
+		if !ok1 || !ok2 {
+			break
+		}
+		if s1 < s2 {
+			b = m2
+		} else {
+			a = m1
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// Assumed reference panel for the attacker's forward model: SunSpot does not
+// know a site's true geometry, so it models the typical south-facing rooftop.
+const (
+	modelTiltDeg    = 25.0
+	modelAzimuthDeg = 180.0
+	modelDiffuse    = 0.16
+)
+
+// modelWindowLen returns the modeled production-window length (minutes) for
+// a clear-sky, south-facing reference panel at the given latitude and date,
+// using the same fractional threshold as the attack. ok is false on polar
+// days.
+func modelWindowLen(date time.Time, lat, tilt, thresholdFrac float64) (minutes float64, ok bool) {
+	const stepMin = 3
+	day := time.Date(date.Year(), date.Month(), date.Day(), 0, 0, 0, 0, time.UTC)
+	n := 24 * 60 / stepMin
+	gen := make([]float64, n)
+	peak := 0.0
+	for i := 0; i < n; i++ {
+		t := day.Add(time.Duration(i*stepMin) * time.Minute)
+		gen[i] = sun.PlateOutput(t, lat, 0, tilt, modelAzimuthDeg, modelDiffuse)
+		peak = math.Max(peak, gen[i])
+	}
+	if peak <= 0 {
+		return 0, false
+	}
+	thr := thresholdFrac * peak
+	first, last := -1, -1
+	for i, v := range gen {
+		if v > thr {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 || last <= first {
+		return 0, false
+	}
+	// Polar day at lon=0: window runs edge to edge.
+	if first == 0 && last == n-1 {
+		return 0, false
+	}
+	return float64(last-first) * stepMin, true
+}
+
+// extractAnchors pulls per-solar-day production start/stop times from the
+// trace. Solar days are located as contiguous production runs rather than
+// UTC calendar days: depending on longitude a solar day may straddle UTC
+// midnight, and slicing by calendar day would corrupt its edges.
+func extractAnchors(gen *timeseries.Series, cfg Config) []dayAnchor {
+	var anchors []dayAnchor
+	globalPeak := gen.Max()
+	if globalPeak <= 0 {
+		return nil
+	}
+	floor := 0.005 * globalPeak
+	stepMin := gen.Step.Minutes()
+	n := gen.Len()
+
+	i := 0
+	for i < n {
+		// Find the next production run above the noise floor.
+		for i < n && gen.Values[i] <= floor {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && gen.Values[i] > floor {
+			i++
+		}
+		end := i // [start, end) above floor
+
+		runPeak := 0.0
+		for j := start; j < end; j++ {
+			runPeak = math.Max(runPeak, gen.Values[j])
+		}
+		runLenH := float64(end-start) * stepMin / 60
+		if runPeak < cfg.MinPeakW || runLenH < 4 || runLenH > 20 ||
+			start == 0 || end == n {
+			continue
+		}
+		// Threshold crossings relative to the run's own peak, with
+		// sub-sample interpolation.
+		thr := cfg.Threshold * runPeak
+		first, last := -1, -1
+		for j := start; j < end; j++ {
+			if gen.Values[j] > thr {
+				if first < 0 {
+					first = j
+				}
+				last = j
+			}
+		}
+		if first <= 0 || last >= n-1 || last <= first {
+			continue
+		}
+		rise := float64(first) - interpFrac(gen.Values[first-1], gen.Values[first], thr)
+		set := float64(last) + interpFrac(gen.Values[last+1], gen.Values[last], thr)
+
+		// Express times as minutes after midnight UTC of the run-start
+		// date; sunset past midnight simply exceeds 1440.
+		startTime := gen.TimeAt(first)
+		date := time.Date(startTime.Year(), startTime.Month(), startTime.Day(), 0, 0, 0, 0, time.UTC)
+		baseMin := date.Sub(gen.Start).Minutes()
+		anchors = append(anchors, dayAnchor{
+			date:       date,
+			sunriseMin: rise*stepMin - baseMin,
+			sunsetMin:  set*stepMin - baseMin,
+		})
+	}
+	return anchors
+}
+
+// interpFrac returns how far (in samples, 0..1) the threshold crossing sits
+// beyond the inner sample toward the outer one.
+func interpFrac(outer, inner, thr float64) float64 {
+	if inner <= outer {
+		return 0
+	}
+	f := (inner - thr) / (inner - outer)
+	return math.Max(0, math.Min(1, f))
+}
+
+// DebugAnchor exposes one extracted solar-day anchor for diagnostics.
+type DebugAnchor struct {
+	// Date is the UTC date the times are relative to.
+	Date time.Time
+	// SunriseMin and SunsetMin are minutes after midnight UTC of Date.
+	SunriseMin, SunsetMin float64
+}
+
+// DebugAnchors exposes the attack's extracted anchors for diagnostics and
+// tests.
+func DebugAnchors(gen *timeseries.Series, cfg Config) []DebugAnchor {
+	cfg = cfg.withDefaults()
+	out := []DebugAnchor{}
+	for _, a := range extractAnchors(gen, cfg) {
+		out = append(out, DebugAnchor{Date: a.date, SunriseMin: a.sunriseMin, SunsetMin: a.sunsetMin})
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package weatherman
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"privmem/internal/metrics"
+	"privmem/internal/solarsim"
+	"privmem/internal/timeseries"
+	"privmem/internal/weather"
+)
+
+var wmStart = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func setup(t *testing.T, days int) (*weather.Field, []weather.Station) {
+	t.Helper()
+	field, err := weather.NewField(weather.DefaultFieldConfig(21), wmStart, days*24, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stations, err := weather.StationGrid(field, 41, 44, -74, -71, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return field, stations
+}
+
+func TestLocalizeFindsSite(t *testing.T) {
+	field, stations := setup(t, 60)
+	site := solarsim.Site{
+		Name: "w", Lat: 42.43, Lon: -72.57, CapacityW: 5000,
+		TiltDeg: 25, AzimuthDeg: 180, NoiseStd: 0.01,
+	}
+	gen, err := solarsim.Generate(site, field, wmStart, 60, time.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Localize(gen, stations, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := metrics.HaversineKm(site.Lat, site.Lon, est.Lat, est.Lon)
+	if d > 15 {
+		t.Errorf("weatherman error = %.1f km, want within a few km", d)
+	}
+	if est.BestCorrelation < 0.7 {
+		t.Errorf("best correlation = %.2f", est.BestCorrelation)
+	}
+	if est.SamplesUsed < 100 {
+		t.Errorf("samples used = %d", est.SamplesUsed)
+	}
+}
+
+func TestLocalizeWorksOnSkewedPanels(t *testing.T) {
+	// Weatherman does not depend on solar geometry, so the SunSpot outlier
+	// sites localize just as well — the paper's key contrast in Figure 5.
+	field, stations := setup(t, 60)
+	site := solarsim.Site{
+		Name: "skewed", Lat: 42.9, Lon: -72.2, CapacityW: 4000,
+		TiltDeg: 30, AzimuthDeg: 120, NoiseStd: 0.01,
+	}
+	gen, err := solarsim.Generate(site, field, wmStart, 60, time.Hour, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Localize(gen, stations, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := metrics.HaversineKm(site.Lat, site.Lon, est.Lat, est.Lon)
+	if d > 15 {
+		t.Errorf("skewed-panel weatherman error = %.1f km", d)
+	}
+}
+
+func TestLocalizeResamplesFinerInput(t *testing.T) {
+	field, stations := setup(t, 30)
+	site := solarsim.Site{
+		Name: "f", Lat: 42.0, Lon: -72.0, CapacityW: 5000,
+		TiltDeg: 25, AzimuthDeg: 180,
+	}
+	gen, err := solarsim.Generate(site, field, wmStart, 30, time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Localize(gen, stations, DefaultConfig()); err != nil {
+		t.Errorf("1-min input should be resampled internally: %v", err)
+	}
+}
+
+func TestLocalizeValidation(t *testing.T) {
+	_, stations := setup(t, 10)
+	gen := timeseries.MustNew(wmStart, time.Hour, 10*24)
+	if _, err := Localize(gen, nil, DefaultConfig()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no stations error = %v", err)
+	}
+	if _, err := Localize(gen, stations, DefaultConfig()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("all-zero generation error = %v", err)
+	}
+	short := timeseries.MustNew(wmStart, time.Hour, 20)
+	if _, err := Localize(short, stations, DefaultConfig()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short trace error = %v", err)
+	}
+	if _, err := Localize(gen, stations, Config{MinEnvelopeFrac: 2}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad envelope fraction error = %v", err)
+	}
+	if _, err := Localize(gen, stations, Config{TopK: -1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad top-k error = %v", err)
+	}
+}

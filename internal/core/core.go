@@ -1,0 +1,240 @@
+// Package core orchestrates the repository's simulators, attacks, and
+// defenses into ready-made scenarios: an energy world (a home behind a
+// smart meter), a solar world (PV sites under a regional weather field),
+// and a network world (an IoT LAN). The public privmem package re-exports
+// these scenarios; the experiment generators build their own, more
+// specialized workloads directly.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"privmem/internal/attack/nilm"
+	"privmem/internal/attack/niom"
+	"privmem/internal/defense/battery"
+	"privmem/internal/defense/chpr"
+	"privmem/internal/defense/dprivacy"
+	"privmem/internal/home"
+	"privmem/internal/loads"
+	"privmem/internal/meter"
+	"privmem/internal/timeseries"
+)
+
+// ErrBadInput indicates invalid scenario parameters.
+var ErrBadInput = errors.New("core: invalid input")
+
+// EnergyWorld is a simulated home behind a smart meter.
+type EnergyWorld struct {
+	// Trace is the ground truth (occupancy, per-appliance power, diary).
+	Trace *home.Trace
+	// Metered is the smart-meter view of the aggregate.
+	Metered *timeseries.Series
+	// Config records the home parameters.
+	Config home.Config
+	seed   int64
+}
+
+// NewEnergyWorld simulates a default home for the given number of days.
+func NewEnergyWorld(seed int64, days int) (*EnergyWorld, error) {
+	cfg := home.DefaultConfig(seed)
+	cfg.Days = days
+	return NewEnergyWorldFromConfig(cfg)
+}
+
+// NewEnergyWorldFromConfig simulates a home from an explicit configuration.
+// The smart meter reports at the simulation step (1 minute by default), so
+// high-rate configurations get matching high-rate metering.
+func NewEnergyWorldFromConfig(cfg home.Config) (*EnergyWorld, error) {
+	if cfg.Step == 0 {
+		cfg.Step = time.Minute
+	}
+	tr, err := home.Simulate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	mc := meter.DefaultConfig(cfg.Seed)
+	mc.Interval = cfg.Step
+	m, err := meter.Read(mc, tr.Aggregate)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &EnergyWorld{Trace: tr, Metered: m, Config: cfg, seed: cfg.Seed}, nil
+}
+
+// OccupancyAttack runs the threshold NIOM attack on the metered trace and
+// scores it against ground truth.
+func (w *EnergyWorld) OccupancyAttack() (niom.Evaluation, *timeseries.Series, error) {
+	pred, err := niom.DetectThreshold(w.Metered, niom.DefaultConfig())
+	if err != nil {
+		return niom.Evaluation{}, nil, fmt.Errorf("core: occupancy attack: %w", err)
+	}
+	ev, err := niom.Evaluate(w.Trace.Occupancy, pred)
+	if err != nil {
+		return niom.Evaluation{}, nil, fmt.Errorf("core: occupancy attack: %w", err)
+	}
+	return ev, pred, nil
+}
+
+// ApplianceAttack runs the PowerPlay NILM attack for the paper's five
+// tracked devices and scores each against ground truth.
+func (w *EnergyWorld) ApplianceAttack() ([]nilm.DeviceError, map[string]*timeseries.Series, error) {
+	var models []loads.Model
+	truth := map[string]*timeseries.Series{}
+	for _, name := range loads.TrackedDevices() {
+		m, err := loads.Lookup(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: appliance attack: %w", err)
+		}
+		if dev, ok := w.Trace.Appliances[name]; ok {
+			models = append(models, m)
+			truth[name] = dev
+		}
+	}
+	if len(models) == 0 {
+		return nil, nil, fmt.Errorf("core: appliance attack: %w: no tracked devices in home", ErrBadInput)
+	}
+	inferred, err := nilm.PowerPlay(w.Metered, models, nilm.DefaultPowerPlayConfig())
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: appliance attack: %w", err)
+	}
+	errs, err := nilm.Evaluate(truth, inferred)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: appliance attack: %w", err)
+	}
+	return errs, inferred, nil
+}
+
+// Defense selects a meter-data defense for the matrix.
+type Defense int
+
+// The defenses compared by DefenseMatrix.
+const (
+	DefenseNone Defense = iota + 1
+	DefenseCHPr
+	DefenseNILL
+	DefenseStepping
+	DefenseDP
+)
+
+// String implements fmt.Stringer.
+func (d Defense) String() string {
+	switch d {
+	case DefenseNone:
+		return "none"
+	case DefenseCHPr:
+		return "chpr"
+	case DefenseNILL:
+		return "nill"
+	case DefenseStepping:
+		return "stepping"
+	case DefenseDP:
+		return "dp"
+	default:
+		return fmt.Sprintf("Defense(%d)", int(d))
+	}
+}
+
+// MatrixRow is one defense's outcome against the occupancy attack.
+type MatrixRow struct {
+	// Defense identifies the row.
+	Defense Defense
+	// MCC is the attacker's score on the defended trace.
+	MCC float64
+	// Accuracy is the attacker's accuracy.
+	Accuracy float64
+	// CostNote summarizes the defense's cost.
+	CostNote string
+}
+
+// DefenseMatrix applies each defense to the world's metered trace and
+// reports the residual NIOM attack quality — the discrete tradeoff points
+// of §III the paper compares.
+func (w *EnergyWorld) DefenseMatrix(defenses []Defense) ([]MatrixRow, error) {
+	if len(defenses) == 0 {
+		return nil, fmt.Errorf("core: defense matrix: %w: no defenses", ErrBadInput)
+	}
+	rows := make([]MatrixRow, 0, len(defenses))
+	for _, d := range defenses {
+		trace := w.Metered
+		cost := "-"
+		switch d {
+		case DefenseNone:
+		case DefenseCHPr:
+			masked, err := chpr.Mask(chpr.DefaultTank(), chpr.DefaultConfig(w.seed), w.Trace.Aggregate, w.Trace.WaterDraws)
+			if err != nil {
+				return nil, fmt.Errorf("core: defense matrix: %w", err)
+			}
+			defended, err := w.Trace.Aggregate.Add(masked.HeaterPower)
+			if err != nil {
+				return nil, fmt.Errorf("core: defense matrix: %w", err)
+			}
+			if trace, err = meter.Read(meter.DefaultConfig(w.seed+1), defended); err != nil {
+				return nil, fmt.Errorf("core: defense matrix: %w", err)
+			}
+			cost = fmt.Sprintf("%.1f kWh heater energy", masked.EnergyWh/1000)
+		case DefenseNILL:
+			res, err := battery.NILL(w.Metered, battery.DefaultBattery())
+			if err != nil {
+				return nil, fmt.Errorf("core: defense matrix: %w", err)
+			}
+			trace = res.Grid
+			cost = fmt.Sprintf("%.1f kWh battery cycling", res.ThroughputWh/1000)
+		case DefenseStepping:
+			res, err := battery.Stepping(w.Metered, battery.DefaultBattery(), 500)
+			if err != nil {
+				return nil, fmt.Errorf("core: defense matrix: %w", err)
+			}
+			trace = res.Grid
+			cost = fmt.Sprintf("%.1f kWh battery cycling", res.ThroughputWh/1000)
+		case DefenseDP:
+			noisy, err := dprivacy.PerturbSeries(dprivacy.DefaultMechanism(w.seed), w.Metered)
+			if err != nil {
+				return nil, fmt.Errorf("core: defense matrix: %w", err)
+			}
+			trace = noisy
+			cost = "per-reading epsilon=1 distortion"
+		default:
+			return nil, fmt.Errorf("core: defense matrix: %w: unknown defense %d", ErrBadInput, int(d))
+		}
+		pred, err := niom.DetectThreshold(trace, niom.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("core: defense matrix (%s): %w", d, err)
+		}
+		ev, err := niom.Evaluate(w.Trace.Occupancy, pred)
+		if err != nil {
+			return nil, fmt.Errorf("core: defense matrix (%s): %w", d, err)
+		}
+		rows = append(rows, MatrixRow{Defense: d, MCC: ev.MCC, Accuracy: ev.Accuracy, CostNote: cost})
+	}
+	return rows, nil
+}
+
+// AllDefenses lists every defense in presentation order.
+func AllDefenses() []Defense {
+	return []Defense{DefenseNone, DefenseCHPr, DefenseNILL, DefenseStepping, DefenseDP}
+}
+
+// HourlyProfile is a convenience for dashboards: the world's mean power per
+// local hour.
+func (w *EnergyWorld) HourlyProfile() ([24]float64, error) {
+	var out [24]float64
+	var counts [24]int
+	for i, v := range w.Metered.Values {
+		h := w.Metered.TimeAt(i).Hour()
+		out[h] += v
+		counts[h]++
+	}
+	for h := range out {
+		if counts[h] > 0 {
+			out[h] /= float64(counts[h])
+		}
+	}
+	return out, nil
+}
+
+// Span returns the world's simulated time range.
+func (w *EnergyWorld) Span() (time.Time, time.Time) {
+	return w.Metered.Start, w.Metered.End()
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"privmem/internal/home"
+)
+
+func TestNewEnergyWorld(t *testing.T) {
+	w, err := NewEnergyWorld(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Metered.Len() != 3*24*60 {
+		t.Errorf("metered len = %d", w.Metered.Len())
+	}
+	if w.Trace == nil || w.Config.Days != 3 {
+		t.Error("world incompletely populated")
+	}
+}
+
+func TestNewEnergyWorldHighRate(t *testing.T) {
+	cfg := home.DefaultConfig(2)
+	cfg.Days = 1
+	cfg.Step = 10 * time.Second
+	w, err := NewEnergyWorldFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Metered.Step != 10*time.Second {
+		t.Errorf("meter step = %v, want simulation step", w.Metered.Step)
+	}
+}
+
+func TestOccupancyAndApplianceAttacks(t *testing.T) {
+	w, err := NewEnergyWorld(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, pred, err := w.OccupancyAttack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred == nil || ev.Confusion.Total() == 0 {
+		t.Error("empty attack result")
+	}
+	errs, inferred, err := w.ApplianceAttack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) == 0 || len(inferred) == 0 {
+		t.Error("empty appliance attack")
+	}
+	for _, e := range errs {
+		if e.ErrorFactor < 0 {
+			t.Errorf("%s negative error factor", e.Device)
+		}
+	}
+}
+
+func TestDefenseMatrix(t *testing.T) {
+	w, err := NewEnergyWorld(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := w.DefenseMatrix(AllDefenses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AllDefenses()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Defense.String() == "" {
+			t.Error("unnamed defense")
+		}
+	}
+	if _, err := w.DefenseMatrix(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty defenses error = %v", err)
+	}
+	if _, err := w.DefenseMatrix([]Defense{Defense(99)}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown defense error = %v", err)
+	}
+}
+
+func TestHourlyProfile(t *testing.T) {
+	w, err := NewEnergyWorld(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.HourlyProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range p {
+		if v < 0 {
+			t.Fatal("negative hourly mean")
+		}
+		total += v
+	}
+	if total == 0 {
+		t.Error("empty profile")
+	}
+}
+
+func TestDefenseString(t *testing.T) {
+	for _, d := range AllDefenses() {
+		if s := d.String(); s == "" || s[0] == 'D' {
+			t.Errorf("defense %d has bad name %q", int(d), s)
+		}
+	}
+	if Defense(42).String() != "Defense(42)" {
+		t.Error("unknown defense string")
+	}
+}

@@ -1,0 +1,189 @@
+package battery
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"privmem/internal/home"
+	"privmem/internal/meter"
+	"privmem/internal/timeseries"
+)
+
+func homeLoad(t *testing.T, seed int64, days int) (*home.Trace, *timeseries.Series) {
+	t.Helper()
+	cfg := home.DefaultConfig(seed)
+	cfg.Days = days
+	tr, err := home.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := meter.Read(meter.DefaultConfig(seed), tr.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m
+}
+
+func TestNILLFlattensLoad(t *testing.T) {
+	_, load := homeLoad(t, 1, 7)
+	res, err := NILL(load, DefaultBattery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grid.Std() > load.Std()/2 {
+		t.Errorf("NILL grid std %.0f W vs load std %.0f W: not leveled",
+			res.Grid.Std(), load.Std())
+	}
+	// Edges visible to NILM should mostly collapse. Residual leaks are
+	// physically unavoidable: coincident appliance peaks above the
+	// battery's discharge limit cannot be leveled (the partial-protection
+	// failure mode McLaughlin et al. analyze).
+	before := len(load.DetectEdges(500, 3))
+	after := len(res.Grid.DetectEdges(500, 3))
+	if after > before/3 {
+		t.Errorf("edges %d -> %d: NILL did not hide switching events", before, after)
+	}
+	// Small-appliance signatures (within battery power) must vanish almost
+	// entirely.
+	var smallBefore, smallAfter int
+	for _, e := range load.DetectEdges(100, 3) {
+		if math.Abs(e.Delta) < 2000 {
+			smallBefore++
+		}
+	}
+	for _, e := range res.Grid.DetectEdges(100, 3) {
+		if math.Abs(e.Delta) < 2000 {
+			smallAfter++
+		}
+	}
+	if smallAfter > smallBefore/10 {
+		t.Errorf("small edges %d -> %d: in-range signatures leaked", smallBefore, smallAfter)
+	}
+}
+
+func TestNILLEnergyConservation(t *testing.T) {
+	_, load := homeLoad(t, 2, 7)
+	b := DefaultBattery()
+	b.Efficiency = 1
+	res, err := NILL(load, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a lossless battery, grid energy = demand energy + SoC delta.
+	socDelta := res.SoCWh.Values[res.SoCWh.Len()-1] - b.InitialSoC*b.CapacityWh
+	gridE := res.Grid.Energy()
+	demandE := load.Energy()
+	if diff := math.Abs(gridE - demandE - socDelta); diff > 0.01*demandE {
+		t.Errorf("energy imbalance: grid %.0f, demand %.0f, socDelta %.0f", gridE, demandE, socDelta)
+	}
+}
+
+func TestNILLSoCBounds(t *testing.T) {
+	_, load := homeLoad(t, 3, 7)
+	b := DefaultBattery()
+	res, err := NILL(load, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SoCWh.Min() < -1e-9 || res.SoCWh.Max() > b.CapacityWh+1e-9 {
+		t.Errorf("SoC out of bounds: [%.1f, %.1f]", res.SoCWh.Min(), res.SoCWh.Max())
+	}
+	if res.ThroughputWh <= 0 {
+		t.Error("battery never discharged")
+	}
+}
+
+func TestSmallBatterySaturatesMore(t *testing.T) {
+	_, load := homeLoad(t, 4, 7)
+	small := Battery{CapacityWh: 500, MaxChargeW: 1000, MaxDischargeW: 1000, Efficiency: 0.95, InitialSoC: 0.5}
+	big := DefaultBattery()
+	rs, err := NILL(load, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NILL(load, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SaturatedSteps <= rb.SaturatedSteps {
+		t.Errorf("small battery saturations %d <= big battery %d",
+			rs.SaturatedSteps, rb.SaturatedSteps)
+	}
+	// And correspondingly leaks more signal.
+	if rs.Grid.Std() <= rb.Grid.Std() {
+		t.Errorf("small battery grid std %.0f <= big %.0f", rs.Grid.Std(), rb.Grid.Std())
+	}
+}
+
+func TestSteppingQuantizes(t *testing.T) {
+	_, load := homeLoad(t, 5, 7)
+	const stepW = 500
+	res, err := Stepping(load, DefaultBattery(), stepW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most grid samples should sit on (or very near) step multiples; allow
+	// saturated steps to deviate.
+	var off int
+	for _, v := range res.Grid.Values {
+		rem := math.Mod(v, stepW)
+		if math.Min(rem, stepW-rem) > 25 {
+			off++
+		}
+	}
+	if frac := float64(off) / float64(res.Grid.Len()); frac > 0.2 {
+		t.Errorf("%.0f%% of samples off the step grid", frac*100)
+	}
+	if res.SoCWh.Min() < -1e-9 || res.SoCWh.Max() > DefaultBattery().CapacityWh+1e-9 {
+		t.Errorf("SoC out of bounds")
+	}
+}
+
+func TestSteppingHidesSmallAppliances(t *testing.T) {
+	_, load := homeLoad(t, 6, 7)
+	res, err := Stepping(load, DefaultBattery(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small switching events (fridge-scale, 100-200 W) must disappear;
+	// coarse step transitions remain.
+	var smallBefore, smallAfter int
+	for _, e := range load.DetectEdges(80, 3) {
+		if math.Abs(e.Delta) < 400 {
+			smallBefore++
+		}
+	}
+	for _, e := range res.Grid.DetectEdges(80, 3) {
+		if math.Abs(e.Delta) < 400 {
+			smallAfter++
+		}
+	}
+	if smallAfter > smallBefore/10 {
+		t.Errorf("small edges %d -> %d: stepping leaked appliance signatures",
+			smallBefore, smallAfter)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	_, load := homeLoad(t, 7, 1)
+	bad := DefaultBattery()
+	bad.CapacityWh = 0
+	if _, err := NILL(load, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad capacity error = %v", err)
+	}
+	bad = DefaultBattery()
+	bad.Efficiency = 1.2
+	if _, err := Stepping(load, bad, 500); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad efficiency error = %v", err)
+	}
+	if _, err := Stepping(load, DefaultBattery(), 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero step error = %v", err)
+	}
+	empty := load.Slice(0, 0)
+	if _, err := NILL(empty, DefaultBattery()); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty load error = %v", err)
+	}
+	_ = time.Minute
+}

@@ -1,0 +1,164 @@
+// Package chpr implements Combined Heat and Privacy [25] (§III-B of the
+// paper): using an electric water heater's thermal storage to mask the
+// occupancy signal in smart-meter data.
+//
+// A conventional water heater reheats immediately after hot-water draws,
+// which adds load only when occupants are active. CHPr instead modulates
+// the heating element to synthesize activity-like bursty load during quiet
+// periods (when a NIOM attacker would otherwise infer absence), deferring
+// heat when the home is already busy — all subject to the tank's thermal
+// constraints so occupants never run out of hot water. Because the water
+// must be heated anyway, the masking is essentially free energy-wise.
+package chpr
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"privmem/internal/home"
+	"privmem/internal/timeseries"
+)
+
+// ErrBadConfig indicates invalid tank or controller parameters.
+var ErrBadConfig = errors.New("chpr: invalid config")
+
+// whPerLiterKelvin is the energy to heat one liter of water by one kelvin.
+const whPerLiterKelvin = 1.163
+
+// Tank parameterizes the electric water heater.
+type Tank struct {
+	// VolumeL is the tank volume in liters (50 gal = 190 L).
+	VolumeL float64
+	// ElementW is the heating element's full power.
+	ElementW float64
+	// SetC is the thermostat set point, MinC the lowest tolerable
+	// temperature, MaxC the maximum storage temperature.
+	SetC, MinC, MaxC float64
+	// InletC is the cold-water inlet temperature.
+	InletC float64
+	// ComfortC is the temperature below which a draw counts as a comfort
+	// violation (lukewarm shower).
+	ComfortC float64
+	// LossWPerK is the standing heat loss per kelvin above ambient.
+	LossWPerK float64
+	// AmbientC is the ambient temperature around the tank.
+	AmbientC float64
+}
+
+// DefaultTank returns the paper's 50-gallon, 4.5 kW heater.
+func DefaultTank() Tank {
+	return Tank{
+		VolumeL:   190,
+		ElementW:  4500,
+		SetC:      55,
+		MinC:      46,
+		MaxC:      65,
+		InletC:    15,
+		ComfortC:  40,
+		LossWPerK: 2.5,
+		AmbientC:  20,
+	}
+}
+
+func (t Tank) validate() error {
+	switch {
+	case t.VolumeL <= 0:
+		return fmt.Errorf("%w: volume %v L", ErrBadConfig, t.VolumeL)
+	case t.ElementW <= 0:
+		return fmt.Errorf("%w: element %v W", ErrBadConfig, t.ElementW)
+	case !(t.InletC < t.ComfortC && t.ComfortC < t.MinC && t.MinC < t.SetC && t.SetC < t.MaxC):
+		return fmt.Errorf("%w: temperature ladder inlet<comfort<min<set<max violated", ErrBadConfig)
+	case t.LossWPerK < 0:
+		return fmt.Errorf("%w: loss %v W/K", ErrBadConfig, t.LossWPerK)
+	}
+	return nil
+}
+
+// Result is a simulated water-heater run.
+type Result struct {
+	// HeaterPower is the element's power trace in watts.
+	HeaterPower *timeseries.Series
+	// TankTempC is the tank temperature trace.
+	TankTempC *timeseries.Series
+	// EnergyWh is the total element energy.
+	EnergyWh float64
+	// ComfortViolations counts draws served below the comfort temperature.
+	ComfortViolations int
+}
+
+// tankState advances the thermal model.
+type tankState struct {
+	tank  Tank
+	tempC float64
+	step  time.Duration
+}
+
+// applyDraw mixes drawn hot water with inlet water.
+func (s *tankState) applyDraw(liters float64) {
+	frac := liters / s.tank.VolumeL
+	if frac > 1 {
+		frac = 1
+	}
+	s.tempC -= frac * (s.tempC - s.tank.InletC)
+}
+
+// advance applies heating power and standing losses for one step.
+func (s *tankState) advance(powerW float64) {
+	hours := s.step.Hours()
+	heatWh := powerW * hours
+	lossWh := s.tank.LossWPerK * (s.tempC - s.tank.AmbientC) * hours
+	s.tempC += (heatWh - lossWh) / (s.tank.VolumeL * whPerLiterKelvin)
+}
+
+// drawsByStep buckets draws by sample index.
+func drawsByStep(draws []home.WaterDraw, ref *timeseries.Series) map[int]float64 {
+	out := make(map[int]float64)
+	for _, d := range draws {
+		i := ref.IndexOf(d.Time)
+		if i >= 0 && i < ref.Len() {
+			out[i] += d.Liters
+		}
+	}
+	return out
+}
+
+// Baseline simulates a conventional thermostat heater serving the given
+// draws over the span of ref (whose start/step/len define the simulation
+// grid).
+func Baseline(tank Tank, draws []home.WaterDraw, ref *timeseries.Series) (*Result, error) {
+	if err := tank.validate(); err != nil {
+		return nil, fmt.Errorf("baseline heater: %w", err)
+	}
+	res := &Result{
+		HeaterPower: timeseries.MustNew(ref.Start, ref.Step, ref.Len()),
+		TankTempC:   timeseries.MustNew(ref.Start, ref.Step, ref.Len()),
+	}
+	st := tankState{tank: tank, tempC: tank.SetC, step: ref.Step}
+	byStep := drawsByStep(draws, ref)
+	heating := false
+	const deadbandC = 3
+	for i := 0; i < ref.Len(); i++ {
+		if liters, ok := byStep[i]; ok {
+			if st.tempC < tank.ComfortC {
+				res.ComfortViolations++
+			}
+			st.applyDraw(liters)
+		}
+		if st.tempC < tank.SetC-deadbandC {
+			heating = true
+		}
+		if st.tempC >= tank.SetC {
+			heating = false
+		}
+		var p float64
+		if heating {
+			p = tank.ElementW
+		}
+		st.advance(p)
+		res.HeaterPower.Values[i] = p
+		res.TankTempC.Values[i] = st.tempC
+	}
+	res.EnergyWh = res.HeaterPower.Energy()
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package dprivacy
+
+import (
+	"errors"
+	"testing"
+
+	"privmem/internal/attack/niom"
+	"privmem/internal/home"
+	"privmem/internal/meter"
+	"privmem/internal/timeseries"
+)
+
+func meteredHome(t *testing.T, seed int64, days int) (*timeseries.Series, *home.Trace) {
+	t.Helper()
+	cfg := home.DefaultConfig(seed)
+	cfg.Days = days
+	tr, err := home.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := meter.Read(meter.DefaultConfig(seed), tr.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, tr
+}
+
+func TestPerturbDefeatsNIOM(t *testing.T) {
+	m, tr := meteredHome(t, 1, 7)
+	mech := DefaultMechanism(1)
+	mech.Epsilon = 0.5
+	noisy, err := PerturbSeries(mech, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predClean, err := niom.DetectThreshold(m, niom.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	predNoisy, err := niom.DetectThreshold(noisy, niom.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evClean, err := niom.Evaluate(tr.Occupancy, predClean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evNoisy, err := niom.Evaluate(tr.Occupancy, predNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evClean.MCC < 0.2 {
+		t.Fatalf("clean attack too weak (MCC %.3f)", evClean.MCC)
+	}
+	if evNoisy.MCC > evClean.MCC/2 {
+		t.Errorf("perturbed MCC %.3f not well below clean %.3f", evNoisy.MCC, evClean.MCC)
+	}
+}
+
+func TestPerturbNonNegativeAndUnbiasedish(t *testing.T) {
+	m, _ := meteredHome(t, 2, 3)
+	noisy, err := PerturbSeries(DefaultMechanism(2), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range noisy.Values {
+		if v < 0 {
+			t.Fatal("negative perturbed reading")
+		}
+	}
+	if noisy.Len() != m.Len() {
+		t.Fatal("length changed")
+	}
+}
+
+func TestAggregateErrorShrinksWithPopulation(t *testing.T) {
+	traces, err := home.Population(3, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make([]*timeseries.Series, len(traces))
+	for i, tr := range traces {
+		series[i] = tr.Aggregate
+	}
+	mech := DefaultMechanism(3)
+	mech.Epsilon = 2
+	small, err := Aggregate(mech, series[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Aggregate(mech, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.RelativeError >= small.RelativeError {
+		t.Errorf("aggregate error did not shrink: N=10 -> %.3f, N=100 -> %.3f",
+			small.RelativeError, large.RelativeError)
+	}
+	if large.RelativeError > 0.6 {
+		t.Errorf("100-home aggregate error %.3f too large for grid analytics", large.RelativeError)
+	}
+}
+
+func TestEpsilonTradeoff(t *testing.T) {
+	m, _ := meteredHome(t, 4, 2)
+	strict := Mechanism{Epsilon: 0.1, SensitivityW: 5000, Seed: 4}
+	loose := Mechanism{Epsilon: 10, SensitivityW: 5000, Seed: 4}
+	ns, err := PerturbSeries(strict, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := PerturbSeries(loose, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stricter epsilon adds more distortion.
+	var ds, dl float64
+	for i := range m.Values {
+		a := ns.Values[i] - m.Values[i]
+		b := nl.Values[i] - m.Values[i]
+		ds += a * a
+		dl += b * b
+	}
+	if ds <= dl {
+		t.Errorf("epsilon=0.1 distortion %.0f <= epsilon=10 distortion %.0f", ds, dl)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m, _ := meteredHome(t, 5, 1)
+	if _, err := PerturbSeries(Mechanism{Epsilon: 0}, m); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero epsilon error = %v", err)
+	}
+	if _, err := PerturbSeries(Mechanism{Epsilon: 1, SensitivityW: -1}, m); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative sensitivity error = %v", err)
+	}
+	if _, err := Aggregate(DefaultMechanism(1), nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty aggregate error = %v", err)
+	}
+}

@@ -1,0 +1,193 @@
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"privmem/internal/nettrace"
+	"privmem/internal/stats"
+)
+
+// ShapeConfig parameterizes the traffic-shaping privacy defense.
+type ShapeConfig struct {
+	// Interval is the constant emission cadence: the gateway batches each
+	// device's traffic and releases it once per interval (default 1 minute).
+	Interval time.Duration
+	// EnvelopeQuantile sets each device's fixed per-interval volume as this
+	// quantile of its observed per-interval volumes (default 0.95). Traffic
+	// above the envelope is queued and drained at the envelope rate, so the
+	// emitted stream is strictly constant; a lower quantile costs queueing
+	// delay instead of leaking timing.
+	EnvelopeQuantile float64
+	// Uniform, when true, uses a single LAN-wide envelope (the maximum of
+	// the per-device envelopes) instead of per-device envelopes: maximal
+	// privacy — every device looks identical — at maximal padding cost.
+	Uniform bool
+}
+
+// DefaultShapeConfig returns the shaping configuration used in the
+// experiments.
+func DefaultShapeConfig() ShapeConfig {
+	return ShapeConfig{Interval: time.Minute, EnvelopeQuantile: 0.95}
+}
+
+func (c *ShapeConfig) withDefaults() ShapeConfig {
+	out := *c
+	d := DefaultShapeConfig()
+	if out.Interval == 0 {
+		out.Interval = d.Interval
+	}
+	if out.EnvelopeQuantile == 0 {
+		out.EnvelopeQuantile = d.EnvelopeQuantile
+	}
+	return out
+}
+
+func (c *ShapeConfig) validate() error {
+	switch {
+	case c.Interval <= 0:
+		return fmt.Errorf("%w: interval %v", ErrBadConfig, c.Interval)
+	case c.EnvelopeQuantile <= 0 || c.EnvelopeQuantile > 1:
+		return fmt.Errorf("%w: envelope quantile %v", ErrBadConfig, c.EnvelopeQuantile)
+	}
+	return nil
+}
+
+// ShapeReport quantifies the cost of shaping.
+type ShapeReport struct {
+	// PaddingOverhead is (shaped bytes - real bytes) / real bytes.
+	PaddingOverhead float64
+	// MeanDelay is the average added batching delay (half an interval).
+	MeanDelay time.Duration
+	// MaxQueueDelay is the worst backlog drain time across devices: bursts
+	// above the envelope wait in the gateway's queue and trickle out at the
+	// envelope rate.
+	MaxQueueDelay time.Duration
+	// BackloggedIntervals counts device-intervals that ended with bytes
+	// still queued.
+	BackloggedIntervals int
+	// UndrainedBytes counts bytes still queued when the capture ended (an
+	// undersized envelope cannot keep up with its device).
+	UndrainedBytes float64
+}
+
+// Shape rewrites a capture as an upstream observer would see it behind the
+// shaping gateway: per device, exactly one envelope-sized flow per interval
+// to an opaque gateway endpoint, regardless of the device's real activity.
+// Bursts above the envelope are queued and drained at the envelope rate —
+// timing is never leaked; the cost is queueing delay (reported). The
+// returned capture preserves ground-truth device records (for evaluation)
+// while presenting shaped metadata.
+func Shape(cap *nettrace.Capture, cfg ShapeConfig) (*nettrace.Capture, *ShapeReport, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, fmt.Errorf("shape: %w", err)
+	}
+	n := int(cap.End.Sub(cap.Start) / cfg.Interval)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("shape: %w: capture shorter than one interval", ErrBadConfig)
+	}
+
+	// Bucket real volumes per device-interval.
+	type vol struct{ up, down float64 }
+	byDev := map[string][]vol{}
+	for _, d := range cap.Devices {
+		byDev[d.Name] = make([]vol, n)
+	}
+	var realBytes float64
+	for _, r := range cap.Records {
+		w := int(r.Time.Sub(cap.Start) / cfg.Interval)
+		if w < 0 || w >= n {
+			continue
+		}
+		vs, ok := byDev[r.Device]
+		if !ok {
+			vs = make([]vol, n)
+			byDev[r.Device] = vs
+		}
+		vs[w].up += float64(r.BytesUp)
+		vs[w].down += float64(r.BytesDown)
+		realBytes += float64(r.BytesUp + r.BytesDown)
+	}
+
+	// Envelopes.
+	envUp := map[string]float64{}
+	envDown := map[string]float64{}
+	devNames := make([]string, 0, len(byDev))
+	for dev := range byDev {
+		devNames = append(devNames, dev)
+	}
+	sort.Strings(devNames)
+	for _, dev := range devNames {
+		var ups, downs []float64
+		for _, v := range byDev[dev] {
+			ups = append(ups, v.up)
+			downs = append(downs, v.down)
+		}
+		// Stability floor: IoT volume distributions are heavy-tailed, so a
+		// plain quantile can sit below the mean rate and the queue would
+		// grow without bound. The envelope must at least cover the mean
+		// with headroom to drain bursts.
+		envUp[dev] = math.Max(stats.Quantile(ups, cfg.EnvelopeQuantile), 1.2*stats.Mean(ups))
+		envDown[dev] = math.Max(stats.Quantile(downs, cfg.EnvelopeQuantile), 1.2*stats.Mean(downs))
+	}
+	if cfg.Uniform {
+		// One LAN-wide envelope: every device padded to the heaviest
+		// device's envelope, so volume tiers reveal nothing either.
+		var u, d float64
+		for _, dev := range devNames {
+			u = math.Max(u, envUp[dev])
+			d = math.Max(d, envDown[dev])
+		}
+		for _, dev := range devNames {
+			envUp[dev], envDown[dev] = u, d
+		}
+	}
+
+	shaped := &nettrace.Capture{Start: cap.Start, End: cap.End, Devices: cap.Devices}
+	report := &ShapeReport{MeanDelay: cfg.Interval / 2}
+	var shapedBytes float64
+	for _, dev := range devNames {
+		eu, ed := envUp[dev], envDown[dev]
+		// A zero envelope (device idle at the chosen quantile) still gets a
+		// minimal cover flow so its presence pattern stays constant too.
+		eu = math.Max(eu, 64)
+		ed = math.Max(ed, 64)
+		var queueUp, queueDown float64
+		for w, v := range byDev[dev] {
+			queueUp += v.up
+			queueDown += v.down
+			queueUp -= math.Min(queueUp, eu)
+			queueDown -= math.Min(queueDown, ed)
+			if queueUp > 0 || queueDown > 0 {
+				report.BackloggedIntervals++
+				drain := math.Max(queueUp/eu, queueDown/ed)
+				delay := time.Duration(drain * float64(cfg.Interval))
+				if delay > report.MaxQueueDelay {
+					report.MaxQueueDelay = delay
+				}
+			}
+			shaped.Records = append(shaped.Records, nettrace.FlowRecord{
+				Time:      cap.Start.Add(time.Duration(w) * cfg.Interval),
+				Device:    dev,
+				Endpoint:  "gateway.shaped.local",
+				BytesUp:   int(eu),
+				BytesDown: int(ed),
+			})
+			shapedBytes += eu + ed
+		}
+		report.UndrainedBytes += queueUp + queueDown
+	}
+	sort.Slice(shaped.Records, func(i, j int) bool {
+		if shaped.Records[i].Time.Equal(shaped.Records[j].Time) {
+			return shaped.Records[i].Device < shaped.Records[j].Device
+		}
+		return shaped.Records[i].Time.Before(shaped.Records[j].Time)
+	})
+	if realBytes > 0 {
+		report.PaddingOverhead = (shapedBytes - realBytes) / realBytes
+	}
+	return shaped, report, nil
+}

@@ -1,0 +1,81 @@
+package knob
+
+import (
+	"errors"
+	"testing"
+
+	"privmem/internal/home"
+)
+
+func TestFrontierMonotoneTradeoff(t *testing.T) {
+	cfg := home.DefaultConfig(11)
+	cfg.Days = 7
+	points, err := Frontier(cfg, []float64{0.25, 0.5, 1}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // 0 + three settings
+		t.Fatalf("got %d points", len(points))
+	}
+	if points[0].Lambda != 0 {
+		t.Fatal("reference point missing")
+	}
+	if points[0].AttackMCC < 0.2 {
+		t.Fatalf("undefended MCC %.3f too weak to measure a tradeoff", points[0].AttackMCC)
+	}
+	// Privacy improves (MCC falls) with lambda; the endpoints must differ
+	// sharply even if mid-points wobble.
+	last := points[len(points)-1]
+	if last.AttackMCC > points[0].AttackMCC/3 {
+		t.Errorf("full knob MCC %.3f not well below undefended %.3f",
+			last.AttackMCC, points[0].AttackMCC)
+	}
+	if last.PrivacyGain < 0.6 {
+		t.Errorf("full knob privacy gain = %.2f", last.PrivacyGain)
+	}
+	// Cost and distortion grow with lambda.
+	if last.UtilityErr <= points[1].UtilityErr/2 {
+		t.Errorf("utility error not increasing: %.3f (l=%.2f) vs %.3f (l=%.2f)",
+			points[1].UtilityErr, points[1].Lambda, last.UtilityErr, last.Lambda)
+	}
+	if last.ExtraEnergyWh <= 0 {
+		t.Errorf("full knob extra energy = %.0f Wh", last.ExtraEnergyWh)
+	}
+	for _, p := range points {
+		if p.ComfortViolations != 0 {
+			t.Errorf("lambda %.2f caused %d comfort violations", p.Lambda, p.ComfortViolations)
+		}
+		if p.UtilityErr < 0 {
+			t.Errorf("negative utility error at %.2f", p.Lambda)
+		}
+	}
+}
+
+func TestFrontierValidation(t *testing.T) {
+	cfg := home.DefaultConfig(1)
+	cfg.Days = 2
+	if _, err := Frontier(cfg, nil, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty lambdas error = %v", err)
+	}
+	if _, err := Frontier(cfg, []float64{1.5}, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("out-of-range lambda error = %v", err)
+	}
+}
+
+func TestFrontierDeduplicatesAndSorts(t *testing.T) {
+	cfg := home.DefaultConfig(12)
+	cfg.Days = 3
+	points, err := Frontier(cfg, []float64{1, 0.5, 0.5, 0}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 (implicit reference) + 0.5 + 1, duplicates dropped.
+	if len(points) != 3 {
+		t.Fatalf("got %d points: %+v", len(points), points)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Lambda <= points[i-1].Lambda {
+			t.Errorf("points not sorted: %v", points)
+		}
+	}
+}

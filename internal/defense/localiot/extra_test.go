@@ -1,0 +1,80 @@
+package localiot
+
+import (
+	"testing"
+	"time"
+
+	"privmem/internal/home"
+	"privmem/internal/meter"
+	"privmem/internal/timeseries"
+)
+
+func TestCloudPipelineUplinkScalesWithResolution(t *testing.T) {
+	tr, _ := setup(t, 4)
+	fine, err := meter.Read(meter.DefaultConfig(4), tr.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarseCfg := meter.DefaultConfig(4)
+	coarseCfg.Interval = time.Hour
+	coarse, err := meter.Read(coarseCfg, tr.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fineRes, err := CloudPipeline(tr, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarseRes, err := CloudPipeline(tr, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fineRes.UplinkBytes != 60*coarseRes.UplinkBytes {
+		t.Errorf("uplink: fine %d vs coarse %d (want 60x)", fineRes.UplinkBytes, coarseRes.UplinkBytes)
+	}
+}
+
+func TestLocalPipelineServiceMatchesCloud(t *testing.T) {
+	// The central §III-D claim as a property across several homes: moving
+	// the analytics never changes what the *user's own service* achieves.
+	for seed := int64(10); seed < 13; seed++ {
+		cfg := home.RandomConfig(seed, int(seed))
+		cfg.Days = 5
+		tr, err := home.Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := meter.Read(meter.DefaultConfig(seed), tr.Aggregate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cloud, err := CloudPipeline(tr, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := LocalPipeline(tr, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cloud.ServiceMCC != local.ServiceMCC {
+			t.Errorf("seed %d: service quality differs: %.3f vs %.3f",
+				seed, cloud.ServiceMCC, local.ServiceMCC)
+		}
+		if local.CloudMCC != 0 {
+			t.Errorf("seed %d: local pipeline leaked MCC %.3f", seed, local.CloudMCC)
+		}
+	}
+}
+
+func TestDailyTotalsLeakValidation(t *testing.T) {
+	tr, m := setup(t, 5)
+	empty := m.Slice(0, 0)
+	if _, err := DailyTotalsLeak(tr, empty); err == nil {
+		t.Error("empty trace should fail")
+	}
+	// A trace shorter than a day cannot be resampled to daily totals.
+	short := timeseries.MustNew(m.Start, time.Minute, 100)
+	if _, err := DailyTotalsLeak(tr, short); err == nil {
+		t.Error("sub-day trace should fail")
+	}
+}

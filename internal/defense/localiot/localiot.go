@@ -1,0 +1,120 @@
+// Package localiot implements the local-IoT-services principle of §III-D:
+// keep the data at the device (or home hub) and never send raw telemetry to
+// the cloud. The service's "intelligence" — here, learning an occupancy
+// schedule to drive a smart thermostat — runs locally; the cloud receives
+// at most coarse aggregates (billing totals).
+//
+// The package contrasts two pipelines over the same home: the conventional
+// cloud pipeline, which uploads fine-grained readings the provider can mine
+// with NIOM, and the local pipeline, which uploads daily totals only. Both
+// deliver the same service quality, which is the paper's argument: the
+// privacy cost of the cloud architecture buys the user nothing.
+package localiot
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"privmem/internal/attack/niom"
+	"privmem/internal/home"
+	"privmem/internal/timeseries"
+)
+
+// ErrBadInput indicates unusable inputs.
+var ErrBadInput = errors.New("localiot: invalid input")
+
+// bytesPerReading approximates the wire cost of one uploaded reading
+// (timestamp + value + framing).
+const bytesPerReading = 24
+
+// PipelineResult compares what leaves the home against what the service
+// achieves.
+type PipelineResult struct {
+	// UplinkBytes is the total data sent to the cloud.
+	UplinkBytes int64
+	// CloudMCC is the occupancy-inference quality achievable by the cloud
+	// provider (or anyone it shares data with) from what it received.
+	CloudMCC float64
+	// ServiceMCC is the occupancy-schedule quality the thermostat service
+	// achieves (computed wherever the analytics ran).
+	ServiceMCC float64
+}
+
+// CloudPipeline uploads the full fine-grained meter trace; the provider
+// runs the occupancy analytics server-side.
+func CloudPipeline(tr *home.Trace, metered *timeseries.Series) (*PipelineResult, error) {
+	if metered.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty trace", ErrBadInput)
+	}
+	// The cloud sees everything the meter recorded.
+	pred, err := niom.DetectThreshold(metered, niom.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("cloud pipeline: %w", err)
+	}
+	ev, err := niom.Evaluate(tr.Occupancy, pred)
+	if err != nil {
+		return nil, fmt.Errorf("cloud pipeline: %w", err)
+	}
+	return &PipelineResult{
+		UplinkBytes: int64(metered.Len()) * bytesPerReading,
+		CloudMCC:    ev.MCC,
+		ServiceMCC:  ev.MCC, // the service consumes the same inference
+	}, nil
+}
+
+// LocalPipeline runs the same occupancy analytics on the home hub and
+// uploads only one billing total for the whole span (the monthly-bill
+// minimum of [29]). A flat billing total carries no temporal structure, so
+// the cloud's occupancy inference collapses to a constant guess (MCC 0).
+//
+// Note that even slightly finer releases leak: daily totals, for example,
+// reveal which whole days a home was vacant — see DailyTotalsLeak.
+func LocalPipeline(tr *home.Trace, metered *timeseries.Series) (*PipelineResult, error) {
+	if metered.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty trace", ErrBadInput)
+	}
+	// Service quality: identical analytics, run locally.
+	pred, err := niom.DetectThreshold(metered, niom.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("local pipeline: %w", err)
+	}
+	ev, err := niom.Evaluate(tr.Occupancy, pred)
+	if err != nil {
+		return nil, fmt.Errorf("local pipeline: %w", err)
+	}
+	// The cloud receives one number; any occupancy predictor built on a
+	// constant is degenerate, so its MCC is 0 by definition.
+	return &PipelineResult{
+		UplinkBytes: bytesPerReading,
+		CloudMCC:    0,
+		ServiceMCC:  ev.MCC,
+	}, nil
+}
+
+// DailyTotalsLeak quantifies the residual leak of releasing *daily* totals
+// instead of one billing total: high-usage days correlate with occupied
+// days, so a day-level occupancy attack retains signal. It returns the
+// attacker's MCC on the upsampled daily-total trace.
+func DailyTotalsLeak(tr *home.Trace, metered *timeseries.Series) (float64, error) {
+	if metered.Len() == 0 {
+		return 0, fmt.Errorf("%w: empty trace", ErrBadInput)
+	}
+	daily, err := metered.Resample(24 * time.Hour)
+	if err != nil {
+		return 0, fmt.Errorf("daily totals leak: %w", err)
+	}
+	up, err := daily.Resample(metered.Step)
+	if err != nil {
+		return 0, fmt.Errorf("daily totals leak: %w", err)
+	}
+	pred, err := niom.DetectThreshold(up, niom.DefaultConfig())
+	if err != nil {
+		return 0, fmt.Errorf("daily totals leak: %w", err)
+	}
+	ev, err := niom.Evaluate(tr.Occupancy.Slice(0, up.Len()), pred)
+	if err != nil {
+		return 0, fmt.Errorf("daily totals leak: %w", err)
+	}
+	return ev.MCC, nil
+}

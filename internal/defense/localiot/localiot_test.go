@@ -1,0 +1,92 @@
+package localiot
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"privmem/internal/home"
+	"privmem/internal/meter"
+	"privmem/internal/timeseries"
+)
+
+func setup(t *testing.T, seed int64) (*home.Trace, *timeseries.Series) {
+	t.Helper()
+	cfg := home.DefaultConfig(seed)
+	cfg.Days = 8
+	tr, err := home.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := meter.Read(meter.DefaultConfig(seed), tr.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m
+}
+
+func TestLocalPipelineCutsExposureNotService(t *testing.T) {
+	tr, m := setup(t, 1)
+	cloud, err := CloudPipeline(tr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := LocalPipeline(tr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same service quality: the analytics are identical, only their
+	// location differs.
+	if cloud.ServiceMCC != local.ServiceMCC {
+		t.Errorf("service quality differs: cloud %.3f vs local %.3f",
+			cloud.ServiceMCC, local.ServiceMCC)
+	}
+	// The cloud's inference power collapses.
+	if cloud.CloudMCC < 0.2 {
+		t.Fatalf("cloud attack too weak (%.3f) to measure", cloud.CloudMCC)
+	}
+	if math.Abs(local.CloudMCC) > 0.1 {
+		t.Errorf("local pipeline still leaks: cloud MCC %.3f", local.CloudMCC)
+	}
+	// Uplink shrinks by orders of magnitude (1-min readings -> one total).
+	if local.UplinkBytes*100 > cloud.UplinkBytes {
+		t.Errorf("uplink: local %d vs cloud %d bytes", local.UplinkBytes, cloud.UplinkBytes)
+	}
+}
+
+func TestDailyTotalsStillLeak(t *testing.T) {
+	// Releasing daily totals (rather than one billing total) retains a
+	// day-level occupancy signal: vacant days use visibly less energy.
+	cfg := home.DefaultConfig(3)
+	cfg.Days = 14
+	cfg.WeekendErrandProb = 0.9 // several fully/mostly vacant stretches
+	tr, err := home.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := meter.Read(meter.DefaultConfig(3), tr.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak, err := DailyTotalsLeak(tr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak <= 0.05 {
+		t.Logf("daily totals leak MCC = %.3f (may legitimately be small)", leak)
+	}
+	if leak < -0.2 {
+		t.Errorf("daily totals leak MCC = %.3f, unexpectedly anti-correlated", leak)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	tr, m := setup(t, 2)
+	empty := m.Slice(0, 0)
+	if _, err := CloudPipeline(tr, empty); !errors.Is(err, ErrBadInput) {
+		t.Errorf("cloud empty error = %v", err)
+	}
+	if _, err := LocalPipeline(tr, empty); !errors.Is(err, ErrBadInput) {
+		t.Errorf("local empty error = %v", err)
+	}
+}

@@ -1,0 +1,43 @@
+package zkmeter
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"privmem/internal/meter"
+)
+
+// BenchmarkCommit measures one Pedersen commitment (two modular
+// exponentiations in the 1024-bit group).
+func BenchmarkCommit(b *testing.B) {
+	g := NewGroup()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Commit(int64(i), rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyMonthlyBill measures the utility-side verification of a
+// 720-reading month: recombination, opening check, and Schnorr proof.
+func BenchmarkVerifyMonthlyBill(b *testing.B) {
+	g := NewGroup()
+	m := NewMeter(g, rand.Reader)
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 720; i++ {
+		if err := m.Record(meter.Reading{Start: start.Add(time.Duration(i) * time.Hour), WattHours: int64(300 + i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	resp, err := m.Bill(0, 720, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyBill(g, m.Published, resp, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

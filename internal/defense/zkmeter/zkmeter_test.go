@@ -1,0 +1,230 @@
+package zkmeter
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"privmem/internal/meter"
+)
+
+func TestGroupParameters(t *testing.T) {
+	g := NewGroup()
+	if !g.P.ProbablyPrime(20) {
+		t.Fatal("P is not prime")
+	}
+	if !g.Q.ProbablyPrime(20) {
+		t.Fatal("Q = (P-1)/2 is not prime (P is not a safe prime)")
+	}
+	// G and H must have order Q: x^Q == 1 mod P.
+	for name, x := range map[string]*big.Int{"G": g.G, "H": g.H} {
+		if new(big.Int).Exp(x, g.Q, g.P).Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("%s does not have order Q", name)
+		}
+		if x.Cmp(big.NewInt(1)) == 0 {
+			t.Errorf("%s is trivial", name)
+		}
+	}
+	if g.G.Cmp(g.H) == 0 {
+		t.Error("G == H")
+	}
+}
+
+func TestCommitVerifyRoundTrip(t *testing.T) {
+	g := NewGroup()
+	c, o, err := g.Commit(12345, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Verify(c, o); err != nil {
+		t.Errorf("honest opening rejected: %v", err)
+	}
+}
+
+func TestCommitRejectsTamperedOpening(t *testing.T) {
+	g := NewGroup()
+	c, o, err := g.Commit(500, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Opening{X: big.NewInt(501), R: o.R}
+	if err := g.Verify(c, bad); !errors.Is(err, ErrVerify) {
+		t.Errorf("tampered value error = %v", err)
+	}
+	bad = Opening{X: o.X, R: new(big.Int).Add(o.R, big.NewInt(1))}
+	if err := g.Verify(c, bad); !errors.Is(err, ErrVerify) {
+		t.Errorf("tampered blinding error = %v", err)
+	}
+}
+
+func TestCommitNegativeRejected(t *testing.T) {
+	g := NewGroup()
+	if _, _, err := g.Commit(-1, rand.Reader); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative reading error = %v", err)
+	}
+}
+
+func TestHiding(t *testing.T) {
+	// Two commitments to the same value must differ (fresh blinding).
+	g := NewGroup()
+	c1, _, err := g.Commit(777, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := g.Commit(777, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Error("commitments to equal values are identical: not hiding")
+	}
+}
+
+// Property: homomorphism — Combine(commitments) opens to the sum.
+func TestQuickHomomorphism(t *testing.T) {
+	g := NewGroup()
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		var cs []Commitment
+		var os []Opening
+		var sum int64
+		for _, v := range raw {
+			c, o, err := g.Commit(int64(v), rand.Reader)
+			if err != nil {
+				return false
+			}
+			cs = append(cs, c)
+			os = append(os, o)
+			sum += int64(v)
+		}
+		cc, err := g.Combine(cs)
+		if err != nil {
+			return false
+		}
+		oo, err := g.CombineOpenings(os)
+		if err != nil {
+			return false
+		}
+		return oo.X.Int64() == sum && g.Verify(cc, oo) == nil
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchnorrProof(t *testing.T) {
+	g := NewGroup()
+	c, o, err := g.Commit(31337, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := g.Prove(c, o, "bill-2017-06", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyProof(c, proof, "bill-2017-06"); err != nil {
+		t.Errorf("honest proof rejected: %v", err)
+	}
+	// Context binding: a proof for one context fails another.
+	if err := g.VerifyProof(c, proof, "bill-2017-07"); !errors.Is(err, ErrVerify) {
+		t.Errorf("cross-context proof error = %v", err)
+	}
+	// Tampered response fails.
+	bad := proof
+	bad.Sx = new(big.Int).Add(proof.Sx, big.NewInt(1))
+	if err := g.VerifyProof(c, bad, "bill-2017-06"); !errors.Is(err, ErrVerify) {
+		t.Errorf("tampered proof error = %v", err)
+	}
+	// Proving with a wrong opening fails fast.
+	wrong := Opening{X: big.NewInt(1), R: o.R}
+	if _, err := g.Prove(c, wrong, "x", rand.Reader); !errors.Is(err, ErrVerify) {
+		t.Errorf("prove with bad opening error = %v", err)
+	}
+}
+
+func TestMeterBillingFlow(t *testing.T) {
+	g := NewGroup()
+	m := NewMeter(g, rand.Reader)
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	var want int64
+	for i := 0; i < 48; i++ {
+		r := meter.Reading{Start: start.Add(time.Duration(i) * time.Hour), WattHours: int64(100 + i*7)}
+		want += r.WattHours
+		if err := m.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := m.Bill(0, 48, "june")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalWattHours != want {
+		t.Errorf("billed %d Wh, want %d", resp.TotalWattHours, want)
+	}
+	if err := VerifyBill(g, m.Published, resp, "june"); err != nil {
+		t.Errorf("honest bill rejected: %v", err)
+	}
+
+	// A tampered total must fail.
+	bad := resp
+	bad.TotalWattHours++
+	if err := VerifyBill(g, m.Published, bad, "june"); !errors.Is(err, ErrVerify) {
+		t.Errorf("tampered total error = %v", err)
+	}
+	// A substituted commitment stream must fail.
+	forged := make([]Commitment, len(m.Published))
+	copy(forged, m.Published)
+	forged[3] = forged[4]
+	if err := VerifyBill(g, forged, resp, "june"); !errors.Is(err, ErrVerify) {
+		t.Errorf("substituted stream error = %v", err)
+	}
+}
+
+func TestMeterBillSubrange(t *testing.T) {
+	g := NewGroup()
+	m := NewMeter(g, rand.Reader)
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		if err := m.Record(meter.Reading{Start: start, WattHours: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := m.Bill(2, 7, "partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalWattHours != 50 {
+		t.Errorf("subrange total = %d", resp.TotalWattHours)
+	}
+	if err := VerifyBill(g, m.Published[2:7], resp, "partial"); err != nil {
+		t.Errorf("subrange bill rejected: %v", err)
+	}
+	if _, err := m.Bill(5, 2, "bad"); !errors.Is(err, ErrBadInput) {
+		t.Errorf("inverted range error = %v", err)
+	}
+	if _, err := m.Bill(0, 99, "bad"); !errors.Is(err, ErrBadInput) {
+		t.Errorf("out-of-range error = %v", err)
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	g := NewGroup()
+	if _, err := g.Combine(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty combine error = %v", err)
+	}
+	if _, err := g.CombineOpenings(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty openings error = %v", err)
+	}
+	if err := g.Verify(Commitment{}, Opening{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil verify error = %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"privmem/internal/attack/niom"
+	"privmem/internal/defense/chpr"
+	"privmem/internal/home"
+	"privmem/internal/meter"
+	"privmem/internal/stats"
+	"privmem/internal/timeseries"
+)
+
+// Figure1HomeTraces reproduces Figure 1: one day (8am-11pm) of 1-minute
+// power overlaid with binary occupancy for two homes — a calmer Home-A and
+// a peakier Home-B. The report rows are hourly summaries; the full
+// 1-minute series is exported by cmd/figures -csv.
+func Figure1HomeTraces(opts Options) (*Report, error) {
+	homes, _, err := figure1Series(opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:      "f1",
+		Title:   "power vs. occupancy overlay, Home-A and Home-B (8am-11pm)",
+		Headers: []string{"hour", "A power (kW)", "A occ", "B power (kW)", "B occ"},
+		Metrics: map[string]float64{},
+		Notes: []string{
+			"expect occupied hours to be higher-mean and burstier; Home-B peakier than Home-A",
+		},
+	}
+	for h := 8; h < 23; h++ {
+		row := []string{fmt.Sprintf("%02d:00", h)}
+		for _, hd := range homes {
+			from := hd.power.Start.Add(time.Duration(h) * time.Hour)
+			w := hd.power.Window(from, from.Add(time.Hour))
+			o := hd.occ.Window(from, from.Add(time.Hour))
+			row = append(row, f(w.Mean()/1000), f1dp(o.Mean()))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for i, hd := range homes {
+		name := string(rune('A' + i))
+		var occVals, powVals []float64
+		for j := range hd.power.Values {
+			occVals = append(occVals, hd.occ.Values[j])
+			powVals = append(powVals, hd.power.Values[j])
+		}
+		if r, err := stats.Pearson(occVals, powVals); err == nil {
+			rep.Metrics["corr_power_occupancy_"+name] = r
+		}
+		rep.Metrics["peak_kw_"+name] = hd.power.Max() / 1000
+	}
+	return rep, nil
+}
+
+// figure1Home bundles one home's day of data.
+type figure1Home struct {
+	power, occ *timeseries.Series
+}
+
+// figure1Series builds the two homes' day-long series (also used by the
+// CSV export). Like the paper's figure, the day must actually show the
+// phenomenon — occupied and unoccupied periods both present — so each home
+// deterministically scans forward from its base seed until it draws such a
+// day.
+func figure1Series(opts Options) ([]figure1Home, []string, error) {
+	seed := opts.seed()
+	cfgA := home.DefaultConfig(seed)
+	cfgA.Days = 1
+	cfgA.Occupants = 1
+	cfgA.ActivityRatePerHour = 1.0
+	cfgA.IncludeWaterHeater = false // Home-A peaks ~3 kW as in the paper
+	cfgA.LaundryDays = nil
+
+	cfgB := home.DefaultConfig(seed + 1)
+	cfgB.Days = 1
+	cfgB.Occupants = 3
+	cfgB.ActivityRatePerHour = 2.2
+	cfgB.LaundryDays = []time.Weekday{cfgB.Start.Weekday()}
+
+	var homes []figure1Home
+	for _, cfg := range []home.Config{cfgA, cfgB} {
+		var chosen figure1Home
+		found := false
+		for attempt := int64(0); attempt < 25 && !found; attempt++ {
+			cfg.Seed += attempt
+			tr, err := home.Simulate(cfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("figure 1: %w", err)
+			}
+			m, err := meter.Read(meter.DefaultConfig(cfg.Seed), tr.Aggregate)
+			if err != nil {
+				return nil, nil, fmt.Errorf("figure 1: %w", err)
+			}
+			occ := tr.Occupancy.Mean()
+			if occ > 0.3 && occ < 0.95 {
+				chosen = figure1Home{power: m, occ: tr.Occupancy}
+				found = true
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("figure 1: no representative day within 25 seeds of %d", cfg.Seed)
+		}
+		homes = append(homes, chosen)
+	}
+	return homes, []string{"Home-A", "Home-B"}, nil
+}
+
+// Figure1CSV renders the full 1-minute series of Figure 1 as CSV rows
+// (minute, powerA, occA, powerB, occB).
+func Figure1CSV(opts Options) ([]string, error) {
+	homes, _, err := figure1Series(opts)
+	if err != nil {
+		return nil, err
+	}
+	out := []string{"minute,power_a_w,occ_a,power_b_w,occ_b"}
+	a, b := homes[0], homes[1]
+	for i := 0; i < a.power.Len(); i++ {
+		out = append(out, fmt.Sprintf("%d,%.1f,%.0f,%.1f,%.0f",
+			i, a.power.Values[i], a.occ.Values[i], b.power.Values[i], b.occ.Values[i]))
+	}
+	return out, nil
+}
+
+// Figure6CHPr reproduces Figure 6: a week-long home trace before and after
+// the CHPr water-heater mask, scored by the NIOM attacker's MCC. The paper
+// reports 0.44 -> 0.045 (a factor of ~10, near random prediction).
+func Figure6CHPr(opts Options) (*Report, error) {
+	seed := opts.seed()
+	cfg := home.DefaultConfig(seed + 101)
+	cfg.Days = 7
+	if opts.Quick {
+		cfg.Days = 4
+	}
+	cfg.IncludeWaterHeater = false // the heater is simulated below
+	tr, err := home.Simulate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("figure 6: %w", err)
+	}
+	tank := chpr.DefaultTank()
+	base, err := chpr.Baseline(tank, tr.WaterDraws, tr.Aggregate)
+	if err != nil {
+		return nil, fmt.Errorf("figure 6: %w", err)
+	}
+	masked, err := chpr.Mask(tank, chpr.DefaultConfig(seed), tr.Aggregate, tr.WaterDraws)
+	if err != nil {
+		return nil, fmt.Errorf("figure 6: %w", err)
+	}
+	orig, err := tr.Aggregate.Add(base.HeaterPower)
+	if err != nil {
+		return nil, fmt.Errorf("figure 6: %w", err)
+	}
+	defended, err := tr.Aggregate.Add(masked.HeaterPower)
+	if err != nil {
+		return nil, fmt.Errorf("figure 6: %w", err)
+	}
+
+	score := func(trace *timeseries.Series, mseed int64) (niom.Evaluation, error) {
+		m, err := meter.Read(meter.DefaultConfig(mseed), trace)
+		if err != nil {
+			return niom.Evaluation{}, err
+		}
+		pred, err := niom.DetectThreshold(m, niom.DefaultConfig())
+		if err != nil {
+			return niom.Evaluation{}, err
+		}
+		return niom.Evaluate(tr.Occupancy, pred)
+	}
+	evO, err := score(orig, seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("figure 6: %w", err)
+	}
+	evD, err := score(defended, seed+2)
+	if err != nil {
+		return nil, fmt.Errorf("figure 6: %w", err)
+	}
+
+	rep := &Report{
+		ID:      "f6",
+		Title:   "CHPr water-heater masking vs. NIOM occupancy detection",
+		Headers: []string{"trace", "NIOM MCC", "accuracy", "heater kWh", "comfort violations"},
+		Rows: [][]string{
+			{"original (thermostat heater)", f(evO.MCC), f(evO.Accuracy),
+				f1dp(base.EnergyWh / 1000), fmt.Sprint(base.ComfortViolations)},
+			{"CHPr-masked", f(evD.MCC), f(evD.Accuracy),
+				f1dp(masked.EnergyWh / 1000), fmt.Sprint(masked.ComfortViolations)},
+		},
+		Metrics: map[string]float64{
+			"mcc_original": evO.MCC,
+			"mcc_chpr":     evD.MCC,
+			"energy_overhead_frac": (masked.EnergyWh - base.EnergyWh) /
+				base.EnergyWh,
+		},
+		Notes: []string{
+			"paper: MCC 0.44 -> 0.045 (~10x, near random prediction)",
+			"hot water service preserved: comfort violations must be 0",
+		},
+	}
+	if evD.MCC != 0 {
+		rep.Metrics["mcc_reduction_factor"] = evO.MCC / evD.MCC
+	}
+	return rep, nil
+}
+
+// TableNIOMAccuracy reproduces the in-text claim that NIOM reaches 70-90%
+// occupancy-detection accuracy across a range of homes [1], [14], using
+// both detectors on a diverse simulated population. Accuracy is evaluated
+// over waking hours (8am-11pm, the span of the paper's Figure 1):
+// power-only detectors cannot observe sleeping occupants.
+func TableNIOMAccuracy(opts Options) (*Report, error) {
+	seed := opts.seed()
+	nHomes, days := 12, 7
+	if opts.Quick {
+		nHomes, days = 4, 4
+	}
+	rep := &Report{
+		ID:    "t1",
+		Title: "NIOM occupancy-detection accuracy across homes (waking hours)",
+		Headers: []string{"home", "occupants", "threshold acc", "threshold MCC",
+			"hmm acc", "hmm MCC"},
+		Metrics: map[string]float64{},
+		Notes:   []string{"paper: accuracies of 70-90% across homes"},
+	}
+	var accs []float64
+	for i := 0; i < nHomes; i++ {
+		cfg := home.RandomConfig(seed, i)
+		cfg.Days = days
+		tr, err := home.Simulate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table niom: %w", err)
+		}
+		m, err := meter.Read(meter.DefaultConfig(seed+int64(i)), tr.Aggregate)
+		if err != nil {
+			return nil, fmt.Errorf("table niom: %w", err)
+		}
+		predT, err := niom.DetectThreshold(m, niom.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("table niom: %w", err)
+		}
+		evT, err := niom.EvaluateDaytime(tr.Occupancy, predT, 8, 23)
+		if err != nil {
+			return nil, fmt.Errorf("table niom: %w", err)
+		}
+		predH, err := niom.DetectHMM(m, niom.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("table niom: %w", err)
+		}
+		evH, err := niom.EvaluateDaytime(tr.Occupancy, predH, 8, 23)
+		if err != nil {
+			return nil, fmt.Errorf("table niom: %w", err)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("home-%02d", i+1), fmt.Sprint(cfg.Occupants),
+			f(evT.Accuracy), f(evT.MCC), f(evH.Accuracy), f(evH.MCC),
+		})
+		accs = append(accs, evT.Accuracy)
+	}
+	rep.Metrics["threshold_acc_mean"] = stats.Mean(accs)
+	rep.Metrics["threshold_acc_min"] = stats.Quantile(accs, 0)
+	rep.Metrics["threshold_acc_max"] = stats.Quantile(accs, 1)
+	return rep, nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1CSVExport(t *testing.T) {
+	rows, err := Figure1CSV(Options{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0] != "minute,power_a_w,occ_a,power_b_w,occ_b" {
+		t.Errorf("header = %q", rows[0])
+	}
+	if len(rows) != 1+1440 {
+		t.Fatalf("rows = %d, want header + 1440 minutes", len(rows))
+	}
+	for i, r := range rows[1:] {
+		fields := strings.Split(r, ",")
+		if len(fields) != 5 {
+			t.Fatalf("row %d has %d fields: %q", i, len(fields), r)
+		}
+		if occ := fields[2]; occ != "0" && occ != "1" {
+			t.Fatalf("row %d occupancy A = %q", i, occ)
+		}
+	}
+}
+
+func TestFigure1Deterministic(t *testing.T) {
+	a, err := Figure1HomeTraces(Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure1HomeTraces(Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("row %d col %d differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}

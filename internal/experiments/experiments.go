@@ -1,0 +1,151 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation, one generator per artifact (see DESIGN.md §3 for the index).
+// Each generator builds its workload from the repository's simulators, runs
+// the relevant attacks and defenses, and reports the same rows/series the
+// paper presents, plus headline metrics for programmatic comparison.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrUnknown indicates an unknown experiment id.
+var ErrUnknown = errors.New("experiments: unknown experiment")
+
+// Options control an experiment run.
+type Options struct {
+	// Seed drives all randomness (default 42).
+	Seed int64
+	// Quick shrinks workloads (fewer days/homes/sites) for benchmarks and
+	// smoke tests; headline shapes still hold, with more variance.
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// Report is an experiment's result: a table plus headline metrics.
+type Report struct {
+	// ID is the experiment id ("f1", "t5", ...).
+	ID string
+	// Title describes the reproduced artifact.
+	Title string
+	// Headers and Rows form the result table.
+	Headers []string
+	Rows    [][]string
+	// Metrics are headline scalars for programmatic checks.
+	Metrics map[string]float64
+	// Notes document expected shapes and substitutions.
+	Notes []string
+}
+
+// Metric reads a headline metric by name.
+func (r *Report) Metric(name string) (float64, error) {
+	v, ok := r.Metrics[name]
+	if !ok {
+		return 0, fmt.Errorf("experiments: report %s has no metric %q", r.ID, name)
+	}
+	return v, nil
+}
+
+// Render formats the report as an aligned text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", strings.ToUpper(r.ID), r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Headers)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	if len(r.Metrics) > 0 {
+		names := make([]string, 0, len(r.Metrics))
+		for name := range r.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("-- metrics --\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "%s = %.4f\n", name, r.Metrics[name])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner generates one experiment.
+type Runner func(Options) (*Report, error)
+
+// Registry returns every experiment keyed by id: the paper artifacts of
+// the DESIGN.md index plus the ablation studies (AblationIDs).
+func Registry() map[string]Runner {
+	reg := map[string]Runner{
+		"f1":  Figure1HomeTraces,
+		"f2":  Figure2Disaggregation,
+		"f5":  Figure5Localization,
+		"f6":  Figure6CHPr,
+		"t1":  TableNIOMAccuracy,
+		"t2":  TableBehaviorInference,
+		"t3":  TableSunDance,
+		"t4":  TableBatteryDefense,
+		"t5":  TableDifferentialPrivacy,
+		"t6":  TableZKBilling,
+		"t7":  TableKnobFrontier,
+		"t8":  TableFingerprint,
+		"t9":  TableGateway,
+		"t10": TableLocalIoT,
+		"t11": TableFitnessLocation,
+		"t12": TableStravaHeatmap,
+	}
+	for id, r := range ablationRegistry() {
+		reg[id] = r
+	}
+	return reg
+}
+
+// IDs returns the experiment ids in presentation order.
+func IDs() []string {
+	return []string{"f1", "f2", "f5", "f6", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12"}
+}
+
+// Run executes one experiment by id.
+func Run(id string, opts Options) (*Report, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	return r(opts)
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f1dp formats with one decimal.
+func f1dp(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversAllIDs(t *testing.T) {
+	reg := Registry()
+	for _, id := range IDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("id %q missing from registry", id)
+		}
+	}
+	for _, id := range AblationIDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("ablation %q missing from registry", id)
+		}
+	}
+	if len(reg) != len(IDs())+len(AblationIDs()) {
+		t.Errorf("registry has %d entries, want %d", len(reg), len(IDs())+len(AblationIDs()))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("zz", Options{}); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown id error = %v", err)
+	}
+}
+
+func TestRenderAndMetric(t *testing.T) {
+	rep := &Report{
+		ID:      "x1",
+		Title:   "demo",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "two"}, {"longer", "3"}},
+		Metrics: map[string]float64{"m": 0.5},
+		Notes:   []string{"a note"},
+	}
+	out := rep.Render()
+	for _, want := range []string{"X1", "demo", "longer", "m = 0.5", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if v, err := rep.Metric("m"); err != nil || v != 0.5 {
+		t.Errorf("Metric = %v, %v", v, err)
+	}
+	if _, err := rep.Metric("nope"); err == nil {
+		t.Error("missing metric should fail")
+	}
+}
+
+// TestQuickShapes runs the cheap experiments at quick scale and asserts the
+// headline shapes the paper reports. The expensive ones (f2, f5, t3, t9)
+// are covered by the root benchmarks and integration tests.
+func TestQuickShapes(t *testing.T) {
+	opts := Options{Quick: true, Seed: 42}
+
+	t.Run("f1", func(t *testing.T) {
+		rep, err := Run("f1", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := rep.Metric("corr_power_occupancy_B"); v <= 0.1 {
+			t.Errorf("Home-B power/occupancy correlation = %.3f", v)
+		}
+		if a, _ := rep.Metric("peak_kw_A"); a > 4 {
+			t.Errorf("Home-A peak %.1f kW, want calm (~3 kW scale)", a)
+		}
+		if bPeak, _ := rep.Metric("peak_kw_B"); bPeak < 3 {
+			t.Errorf("Home-B peak %.1f kW, want peaky", bPeak)
+		}
+	})
+
+	t.Run("f6", func(t *testing.T) {
+		rep, err := Run("f6", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, _ := rep.Metric("mcc_original")
+		chpr, _ := rep.Metric("mcc_chpr")
+		if orig < 0.2 {
+			t.Fatalf("original MCC %.3f too weak", orig)
+		}
+		if chpr > orig/3 || chpr > 0.12 {
+			t.Errorf("CHPr MCC %.3f vs original %.3f: masking failed", chpr, orig)
+		}
+	})
+
+	t.Run("t1", func(t *testing.T) {
+		rep, err := Run("t1", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, _ := rep.Metric("threshold_acc_mean")
+		if mean < 0.65 || mean > 0.97 {
+			t.Errorf("mean accuracy %.3f outside the paper's plausible band", mean)
+		}
+	})
+
+	t.Run("t5", func(t *testing.T) {
+		rep, err := Run("t5", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stricter epsilon must hurt aggregates more and attacks more.
+		aggStrict, _ := rep.Metric("agg_err_eps_0.1")
+		aggLoose, _ := rep.Metric("agg_err_eps_5")
+		if aggStrict <= aggLoose {
+			t.Errorf("aggregate error not monotone in epsilon: %.3f vs %.3f", aggStrict, aggLoose)
+		}
+		mccStrict, _ := rep.Metric("mcc_eps_0.1")
+		base, _ := rep.Metric("mcc_undefended")
+		if mccStrict > base/2 {
+			t.Errorf("eps=0.1 MCC %.3f not well below undefended %.3f", mccStrict, base)
+		}
+	})
+
+	t.Run("t6", func(t *testing.T) {
+		rep, err := Run("t6", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := rep.Metric("verify_ok"); v != 1 {
+			t.Error("honest bill did not verify")
+		}
+		if v, _ := rep.Metric("tampering_caught"); v != 1 {
+			t.Error("tampering went uncaught")
+		}
+		billed, _ := rep.Metric("billed_wh")
+		truth, _ := rep.Metric("true_wh")
+		if billed != truth {
+			t.Errorf("billed %v != metered %v", billed, truth)
+		}
+	})
+
+	t.Run("t7", func(t *testing.T) {
+		rep, err := Run("t7", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l0, _ := rep.Metric("mcc_lambda_0")
+		l1, _ := rep.Metric("mcc_lambda_1")
+		if l1 > l0/3 {
+			t.Errorf("knob endpoints not separated: %.3f -> %.3f", l0, l1)
+		}
+	})
+
+	t.Run("t8", func(t *testing.T) {
+		rep, err := Run("t8", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := rep.Metric("device_id_accuracy"); v < 0.6 {
+			t.Errorf("device id accuracy %.3f", v)
+		}
+		if v, _ := rep.Metric("occupancy_mcc"); v < 0.4 {
+			t.Errorf("traffic occupancy MCC %.3f", v)
+		}
+	})
+
+	t.Run("t10", func(t *testing.T) {
+		rep, err := Run("t10", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cloud, _ := rep.Metric("cloud_mcc_cloud_pipeline")
+		local, _ := rep.Metric("cloud_mcc_local_pipeline")
+		if local != 0 {
+			t.Errorf("local pipeline cloud MCC = %.3f, want 0", local)
+		}
+		if cloud < 0.2 {
+			t.Errorf("cloud pipeline MCC %.3f too weak to contrast", cloud)
+		}
+	})
+
+	t.Run("t2-t4", func(t *testing.T) {
+		for _, id := range []string{"t2", "t4"} {
+			rep, err := Run(id, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(rep.Rows) == 0 {
+				t.Errorf("%s produced no rows", id)
+			}
+		}
+	})
+}
+
+// TestExpensiveShapes covers the heavyweight experiments; skipped in -short.
+func TestExpensiveShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive experiments")
+	}
+	opts := Options{Quick: true, Seed: 42}
+
+	t.Run("f2", func(t *testing.T) {
+		rep, err := Run("f2", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins, _ := rep.Metric("powerplay_wins")
+		if wins < 4 {
+			t.Errorf("PowerPlay won only %.0f of 5 devices", wins)
+		}
+	})
+
+	t.Run("f5", func(t *testing.T) {
+		rep, err := Run("f5", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm, _ := rep.Metric("weatherman_max_km")
+		ss, _ := rep.Metric("sunspot_median_km")
+		if wm > 25 {
+			t.Errorf("weatherman max error %.1f km, want a few km", wm)
+		}
+		if ss <= wm {
+			t.Errorf("sunspot median %.1f km should exceed weatherman max %.1f km", ss, wm)
+		}
+	})
+
+	t.Run("t3", func(t *testing.T) {
+		rep, err := Run("t3", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := rep.Metric("gen_error_mean"); v > 0.3 {
+			t.Errorf("sundance generation error %.3f", v)
+		}
+	})
+
+	t.Run("t9", func(t *testing.T) {
+		rep, err := Run("t9", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := rep.Metric("detected_count"); v < 3 {
+			t.Errorf("only %.0f of 3 compromises detected", v)
+		}
+		if v, _ := rep.Metric("device_id_per_device"); v > 0.3 {
+			t.Errorf("shaped device id %.3f still high", v)
+		}
+	})
+}
+
+// TestAblationsRun smoke-runs every ablation at quick scale and checks
+// their central claims.
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations")
+	}
+	opts := Options{Quick: true, Seed: 42}
+	for _, id := range AblationIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+		})
+	}
+
+	t.Run("a3-other-chain-matters", func(t *testing.T) {
+		rep, err := Run("a3", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		with, _ := rep.Metric("mean_error_variant_0")
+		without, _ := rep.Metric("mean_error_variant_2")
+		if without <= with {
+			t.Errorf("removing the other chain should hurt: with=%.2f without=%.2f", with, without)
+		}
+	})
+
+	t.Run("a6-never-leaks", func(t *testing.T) {
+		rep, err := Run("a6", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []string{"0.8", "0.95", "0.99", "0.999"} {
+			if v, _ := rep.Metric("occ_mcc_q_" + q); v > 0.05 {
+				t.Errorf("quantile %s leaked occupancy: MCC %.3f", q, v)
+			}
+		}
+	})
+}

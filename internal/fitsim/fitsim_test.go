@@ -1,0 +1,155 @@
+package fitsim
+
+import (
+	"errors"
+	"testing"
+
+	"privmem/internal/metrics"
+)
+
+func TestSimulateShapes(t *testing.T) {
+	w, err := Simulate(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Users) != 40 {
+		t.Fatalf("users = %d", len(w.Users))
+	}
+	if len(w.Activities) < 40*8 {
+		t.Fatalf("only %d activities over 4 weeks", len(w.Activities))
+	}
+	for i, a := range w.Activities {
+		if a.User < 0 || a.User >= len(w.Users) {
+			t.Fatalf("activity %d has user %d", i, a.User)
+		}
+		if len(a.Points) != len(a.HeartRate) {
+			t.Fatalf("activity %d: %d points vs %d HR samples", i, len(a.Points), len(a.HeartRate))
+		}
+		if len(a.Points) < 10 {
+			t.Fatalf("activity %d too short: %d points", i, len(a.Points))
+		}
+	}
+}
+
+func TestRunsStartAndEndAtHome(t *testing.T) {
+	w, err := Simulate(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var homeRuns, trailRuns int
+	for _, a := range w.Activities {
+		if a.Trail {
+			trailRuns++
+			continue
+		}
+		homeRuns++
+		u := w.Users[a.User]
+		first := a.Points[0]
+		last := a.Points[len(a.Points)-1]
+		if d := metrics.HaversineKm(u.HomeLat, u.HomeLon, first.Lat, first.Lon); d > 0.3 {
+			t.Fatalf("run starts %.2f km from home", d)
+		}
+		// Out-and-back with bearing wobble: the return lands near home.
+		if d := metrics.HaversineKm(u.HomeLat, u.HomeLon, last.Lat, last.Lon); d > 2.5 {
+			t.Fatalf("run ends %.2f km from home", d)
+		}
+	}
+	if homeRuns == 0 || trailRuns == 0 {
+		t.Errorf("want both run kinds, got home=%d trail=%d", homeRuns, trailRuns)
+	}
+}
+
+func TestHeartRatePlausible(t *testing.T) {
+	w, err := Simulate(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range w.Activities {
+		for _, hr := range a.HeartRate {
+			if hr < 40 || hr > 260 {
+				t.Fatalf("heart rate %v BPM implausible", hr)
+			}
+		}
+	}
+}
+
+func TestTimestampsMonotone(t *testing.T) {
+	w, err := Simulate(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range w.Activities {
+		for i := 1; i < len(a.Points); i++ {
+			if !a.Points[i].T.After(a.Points[i-1].T) {
+				t.Fatal("non-monotone GPS timestamps")
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Simulate(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Activities) != len(b.Activities) {
+		t.Fatalf("activity counts differ")
+	}
+	for i := range a.Activities {
+		if a.Activities[i].Points[0] != b.Activities[i].Points[0] {
+			t.Fatalf("activity %d differs", i)
+		}
+	}
+}
+
+func TestAddFacility(t *testing.T) {
+	w, err := Simulate(DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(w.Users)
+	fac := DefaultFacility(6)
+	first, err := w.AddFacility(fac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != before {
+		t.Errorf("first facility user = %d, want %d", first, before)
+	}
+	if len(w.Users) != before+fac.Personnel {
+		t.Errorf("users = %d", len(w.Users))
+	}
+	// Facility laps stay near the facility.
+	for _, a := range w.ActivitiesOf(first) {
+		for _, p := range a.Points {
+			if d := metrics.HaversineKm(fac.Lat, fac.Lon, p.Lat, p.Lon); d > 2*fac.PerimeterKm {
+				t.Fatalf("lap point %.2f km from facility", d)
+			}
+		}
+	}
+	bad := fac
+	bad.Personnel = 0
+	if _, err := w.AddFacility(bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad facility error = %v", err)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.SpreadKm = -1 },
+		func(c *Config) { c.RunsPerWeek = -1 },
+		func(c *Config) { c.ArrhythmiaFraction = 2 },
+	} {
+		cfg := DefaultConfig(1)
+		mutate(&cfg)
+		if _, err := Simulate(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}

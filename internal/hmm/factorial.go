@@ -1,0 +1,169 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxJointStates bounds the factorial product state space. Beyond this the
+// exact joint Viterbi becomes intractable and callers must reduce chains or
+// states per chain.
+const maxJointStates = 1 << 16
+
+// Factorial is a factorial HMM: several independent hidden chains whose
+// Gaussian emissions sum to the single observed value (a home's aggregate
+// power). Decoding is exact Viterbi over the product state space, the
+// textbook construction used by FHMM energy disaggregation [19].
+type Factorial struct {
+	// Chains are the per-device models.
+	Chains []*Model
+	// ObsStd is the additional observation noise of the aggregate signal
+	// (unmodeled loads, meter noise).
+	ObsStd float64
+}
+
+// NewFactorial validates the chains and returns a Factorial ready to decode.
+func NewFactorial(chains []*Model, obsStd float64) (*Factorial, error) {
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("factorial: %w: no chains", ErrBadModel)
+	}
+	if obsStd <= 0 {
+		return nil, fmt.Errorf("factorial: %w: obs std %v", ErrBadModel, obsStd)
+	}
+	total := 1
+	for i, c := range chains {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("factorial chain %d: %w", i, err)
+		}
+		total *= c.K()
+		if total > maxJointStates {
+			return nil, fmt.Errorf("factorial: %w: product state space exceeds %d",
+				ErrBadModel, maxJointStates)
+		}
+	}
+	return &Factorial{Chains: chains, ObsStd: obsStd}, nil
+}
+
+// jointState decodes flat joint index j into per-chain states.
+func (f *Factorial) jointState(j int, out []int) {
+	for i := range f.Chains {
+		k := f.Chains[i].K()
+		out[i] = j % k
+		j /= k
+	}
+}
+
+// jointCount returns the product state space size.
+func (f *Factorial) jointCount() int {
+	total := 1
+	for _, c := range f.Chains {
+		total *= c.K()
+	}
+	return total
+}
+
+// Decode returns, for each chain, its most likely state sequence given the
+// aggregate observations, via exact Viterbi over the joint state space.
+func (f *Factorial) Decode(obs []float64) ([][]int, error) {
+	nj := f.jointCount()
+	nc := len(f.Chains)
+	if len(obs) == 0 {
+		return make([][]int, nc), nil
+	}
+
+	// Precompute per-joint-state summed means, emission stds, initial and
+	// transition log probabilities.
+	sumMean := make([]float64, nj)
+	emitStd := make([]float64, nj)
+	initLog := make([]float64, nj)
+	states := make([]int, nc)
+	for j := 0; j < nj; j++ {
+		f.jointState(j, states)
+		variance := f.ObsStd * f.ObsStd
+		var lp float64
+		for i, c := range f.Chains {
+			s := states[i]
+			sumMean[j] += c.Means[s]
+			variance += c.Stds[s] * c.Stds[s]
+			lp += safeLog(c.Initial[s])
+		}
+		emitStd[j] = math.Sqrt(variance)
+		initLog[j] = lp
+	}
+	transLog := make([][]float64, nj)
+	from := make([]int, nc)
+	to := make([]int, nc)
+	for a := 0; a < nj; a++ {
+		transLog[a] = make([]float64, nj)
+		f.jointState(a, from)
+		for b := 0; b < nj; b++ {
+			f.jointState(b, to)
+			var lp float64
+			for i, c := range f.Chains {
+				lp += safeLog(c.Trans[from[i]][to[i]])
+			}
+			transLog[a][b] = lp
+		}
+	}
+
+	delta := make([]float64, nj)
+	next := make([]float64, nj)
+	prev := make([][]int32, len(obs))
+	for j := 0; j < nj; j++ {
+		delta[j] = initLog[j] + logGauss(obs[0], sumMean[j], emitStd[j])
+	}
+	for t := 1; t < len(obs); t++ {
+		prev[t] = make([]int32, nj)
+		for b := 0; b < nj; b++ {
+			best, arg := math.Inf(-1), 0
+			for a := 0; a < nj; a++ {
+				if v := delta[a] + transLog[a][b]; v > best {
+					best, arg = v, a
+				}
+			}
+			next[b] = best + logGauss(obs[t], sumMean[b], emitStd[b])
+			prev[t][b] = int32(arg)
+		}
+		delta, next = next, delta
+	}
+	best, arg := math.Inf(-1), 0
+	for j := 0; j < nj; j++ {
+		if delta[j] > best {
+			best, arg = delta[j], j
+		}
+	}
+
+	// Backtrack and split the joint path per chain.
+	out := make([][]int, nc)
+	for i := range out {
+		out[i] = make([]int, len(obs))
+	}
+	j := arg
+	for t := len(obs) - 1; t >= 0; t-- {
+		f.jointState(j, states)
+		for i := range out {
+			out[i][t] = states[i]
+		}
+		if t > 0 {
+			j = int(prev[t][j])
+		}
+	}
+	return out, nil
+}
+
+// InferPower decodes the aggregate and returns each chain's inferred power
+// trace (the emission mean of its decoded state at each step).
+func (f *Factorial) InferPower(obs []float64) ([][]float64, error) {
+	paths, err := f.Decode(obs)
+	if err != nil {
+		return nil, fmt.Errorf("infer power: %w", err)
+	}
+	out := make([][]float64, len(f.Chains))
+	for i, c := range f.Chains {
+		out[i] = make([]float64, len(obs))
+		for t, s := range paths[i] {
+			out[i][t] = c.Means[s]
+		}
+	}
+	return out, nil
+}

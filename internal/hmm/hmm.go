@@ -1,0 +1,185 @@
+// Package hmm implements Gaussian-emission hidden Markov models and the
+// factorial composition used by the conventional NILM baseline the paper
+// compares PowerPlay against (Figure 2). It provides Viterbi decoding,
+// forward-algorithm likelihoods, Baum-Welch (EM) training, and joint
+// decoding of several independent chains whose emissions sum (a factorial
+// HMM over a product state space).
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadModel indicates inconsistent HMM parameters.
+var ErrBadModel = errors.New("hmm: invalid model")
+
+// minStd keeps Gaussian emissions proper when training collapses a state.
+const minStd = 1e-3
+
+// Model is a hidden Markov model with one-dimensional Gaussian emissions.
+type Model struct {
+	// Initial holds the initial state distribution (length K).
+	Initial []float64
+	// Trans holds row-stochastic transition probabilities (K x K).
+	Trans [][]float64
+	// Means and Stds parameterize each state's Gaussian emission.
+	Means []float64
+	// Stds must be positive.
+	Stds []float64
+}
+
+// K returns the number of hidden states.
+func (m *Model) K() int { return len(m.Means) }
+
+// Validate checks dimensional consistency and stochasticity.
+func (m *Model) Validate() error {
+	k := m.K()
+	if k == 0 {
+		return fmt.Errorf("%w: no states", ErrBadModel)
+	}
+	if len(m.Initial) != k || len(m.Stds) != k || len(m.Trans) != k {
+		return fmt.Errorf("%w: dimension mismatch", ErrBadModel)
+	}
+	if err := checkDist(m.Initial); err != nil {
+		return fmt.Errorf("%w: initial: %v", ErrBadModel, err)
+	}
+	for i, row := range m.Trans {
+		if len(row) != k {
+			return fmt.Errorf("%w: trans row %d has %d entries", ErrBadModel, i, len(row))
+		}
+		if err := checkDist(row); err != nil {
+			return fmt.Errorf("%w: trans row %d: %v", ErrBadModel, i, err)
+		}
+	}
+	for i, s := range m.Stds {
+		if s <= 0 || math.IsNaN(s) {
+			return fmt.Errorf("%w: std[%d] = %v", ErrBadModel, i, s)
+		}
+	}
+	return nil
+}
+
+func checkDist(p []float64) error {
+	var sum float64
+	for _, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("negative or NaN probability %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("probabilities sum to %v", sum)
+	}
+	return nil
+}
+
+// logGauss returns the log density of x under N(mean, std^2).
+func logGauss(x, mean, std float64) float64 {
+	if std < minStd {
+		std = minStd
+	}
+	d := (x - mean) / std
+	return -0.5*d*d - math.Log(std) - 0.5*math.Log(2*math.Pi)
+}
+
+// safeLog returns log(x) with -Inf guarded to a very small value so Viterbi
+// lattices stay comparable.
+func safeLog(x float64) float64 {
+	if x <= 0 {
+		return -1e18
+	}
+	return math.Log(x)
+}
+
+// Viterbi returns the most likely hidden state sequence for obs and its log
+// probability.
+func (m *Model) Viterbi(obs []float64) ([]int, float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("viterbi: %w", err)
+	}
+	if len(obs) == 0 {
+		return nil, 0, nil
+	}
+	k := m.K()
+	delta := make([]float64, k)
+	prev := make([][]int16, len(obs))
+	for s := 0; s < k; s++ {
+		delta[s] = safeLog(m.Initial[s]) + logGauss(obs[0], m.Means[s], m.Stds[s])
+	}
+	next := make([]float64, k)
+	for t := 1; t < len(obs); t++ {
+		prev[t] = make([]int16, k)
+		for s := 0; s < k; s++ {
+			best, arg := math.Inf(-1), 0
+			for r := 0; r < k; r++ {
+				v := delta[r] + safeLog(m.Trans[r][s])
+				if v > best {
+					best, arg = v, r
+				}
+			}
+			next[s] = best + logGauss(obs[t], m.Means[s], m.Stds[s])
+			prev[t][s] = int16(arg)
+		}
+		delta, next = next, delta
+	}
+	best, arg := math.Inf(-1), 0
+	for s := 0; s < k; s++ {
+		if delta[s] > best {
+			best, arg = delta[s], s
+		}
+	}
+	path := make([]int, len(obs))
+	path[len(obs)-1] = arg
+	for t := len(obs) - 1; t > 0; t-- {
+		arg = int(prev[t][arg])
+		path[t-1] = arg
+	}
+	return path, best, nil
+}
+
+// LogLikelihood returns the log probability of obs under the model using
+// the scaled forward algorithm.
+func (m *Model) LogLikelihood(obs []float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, fmt.Errorf("log likelihood: %w", err)
+	}
+	k := m.K()
+	alpha := make([]float64, k)
+	var ll float64
+	lg := make([]float64, k)
+	for t, x := range obs {
+		// Shift emissions per step so outliers cannot underflow all states.
+		shift := math.Inf(-1)
+		for s := 0; s < k; s++ {
+			lg[s] = logGauss(x, m.Means[s], m.Stds[s])
+			shift = math.Max(shift, lg[s])
+		}
+		next := make([]float64, k)
+		for s := 0; s < k; s++ {
+			var p float64
+			if t == 0 {
+				p = m.Initial[s]
+			} else {
+				for r := 0; r < k; r++ {
+					p += alpha[r] * m.Trans[r][s]
+				}
+			}
+			next[s] = p * math.Exp(lg[s]-shift)
+		}
+		var scale float64
+		for _, v := range next {
+			scale += v
+		}
+		if scale <= 0 {
+			return math.Inf(-1), nil
+		}
+		for s := range next {
+			next[s] /= scale
+		}
+		ll += math.Log(scale) + shift
+		alpha = next
+	}
+	return ll, nil
+}

@@ -1,0 +1,327 @@
+package hmm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoStateModel returns a well-separated two-state model for testing.
+func twoStateModel() *Model {
+	return &Model{
+		Initial: []float64{0.5, 0.5},
+		Trans:   [][]float64{{0.95, 0.05}, {0.05, 0.95}},
+		Means:   []float64{0, 100},
+		Stds:    []float64{5, 5},
+	}
+}
+
+// sampleModel draws a state/observation sequence from m.
+func sampleModel(rng *rand.Rand, m *Model, n int) (states []int, obs []float64) {
+	states = make([]int, n)
+	obs = make([]float64, n)
+	s := sampleDist(rng, m.Initial)
+	for t := 0; t < n; t++ {
+		if t > 0 {
+			s = sampleDist(rng, m.Trans[s])
+		}
+		states[t] = s
+		obs[t] = m.Means[s] + m.Stds[s]*rng.NormFloat64()
+	}
+	return states, obs
+}
+
+func sampleDist(rng *rand.Rand, p []float64) int {
+	r := rng.Float64()
+	for i, v := range p {
+		r -= v
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+func TestValidate(t *testing.T) {
+	good := twoStateModel()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{name: "empty", mutate: func(m *Model) { m.Means = nil }},
+		{name: "initial not stochastic", mutate: func(m *Model) { m.Initial[0] = 0.9 }},
+		{name: "negative prob", mutate: func(m *Model) { m.Initial = []float64{1.5, -0.5} }},
+		{name: "trans row not stochastic", mutate: func(m *Model) { m.Trans[1][0] = 0.5 }},
+		{name: "trans row wrong size", mutate: func(m *Model) { m.Trans[0] = []float64{1} }},
+		{name: "zero std", mutate: func(m *Model) { m.Stds[0] = 0 }},
+		{name: "dim mismatch", mutate: func(m *Model) { m.Stds = []float64{1} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := twoStateModel()
+			tt.mutate(m)
+			if err := m.Validate(); !errors.Is(err, ErrBadModel) {
+				t.Errorf("Validate() = %v, want ErrBadModel", err)
+			}
+		})
+	}
+}
+
+func TestViterbiRecoversWellSeparatedStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := twoStateModel()
+	states, obs := sampleModel(rng, m, 500)
+	path, logp, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(logp, 0) || math.IsNaN(logp) {
+		t.Fatalf("logp = %v", logp)
+	}
+	var wrong int
+	for i := range states {
+		if path[i] != states[i] {
+			wrong++
+		}
+	}
+	if frac := float64(wrong) / float64(len(states)); frac > 0.02 {
+		t.Errorf("viterbi error rate %.3f, want < 0.02", frac)
+	}
+}
+
+func TestViterbiEmpty(t *testing.T) {
+	m := twoStateModel()
+	path, _, err := m.Viterbi(nil)
+	if err != nil || len(path) != 0 {
+		t.Errorf("Viterbi(nil) = %v, %v", path, err)
+	}
+}
+
+func TestViterbiInvalidModel(t *testing.T) {
+	m := twoStateModel()
+	m.Stds[0] = -1
+	if _, _, err := m.Viterbi([]float64{1, 2}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("Viterbi error = %v", err)
+	}
+}
+
+func TestLogLikelihoodPrefersTrueModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := twoStateModel()
+	_, obs := sampleModel(rng, truth, 400)
+	llTrue, err := truth.LogLikelihood(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := twoStateModel()
+	wrong.Means = []float64{40, 60}
+	llWrong, err := wrong.LogLikelihood(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llTrue <= llWrong {
+		t.Errorf("true model LL %.1f <= wrong model LL %.1f", llTrue, llWrong)
+	}
+}
+
+func TestTrainRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := twoStateModel()
+	_, obs := sampleModel(rng, truth, 2000)
+	m, err := Train(obs, TrainConfig{States: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Means sorted by k-means init; state 0 should be near 0, state 1 near 100.
+	if math.Abs(m.Means[0]-0) > 5 || math.Abs(m.Means[1]-100) > 5 {
+		t.Errorf("trained means = %v", m.Means)
+	}
+	if m.Trans[0][0] < 0.85 || m.Trans[1][1] < 0.85 {
+		t.Errorf("trained transitions not sticky: %v", m.Trans)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train([]float64{1, 2, 3}, TrainConfig{States: 0}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("states=0 error = %v", err)
+	}
+	if _, err := Train([]float64{1, 2, 3}, TrainConfig{States: 2}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("too few observations error = %v", err)
+	}
+}
+
+func TestTrainSingleState(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	obs := make([]float64, 100)
+	for i := range obs {
+		obs[i] = 50 + rng.NormFloat64()
+	}
+	m, err := Train(obs, TrainConfig{States: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Means[0]-50) > 1 {
+		t.Errorf("single-state mean = %v", m.Means[0])
+	}
+	if m.Trans[0][0] != 1 {
+		t.Errorf("single-state transition = %v", m.Trans)
+	}
+}
+
+func TestFactorialDecodeSeparatesTwoDevices(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	devA := &Model{ // 0 W / 1000 W device
+		Initial: []float64{0.9, 0.1},
+		Trans:   [][]float64{{0.97, 0.03}, {0.1, 0.9}},
+		Means:   []float64{0, 1000},
+		Stds:    []float64{1, 20},
+	}
+	devB := &Model{ // 0 W / 150 W device
+		Initial: []float64{0.5, 0.5},
+		Trans:   [][]float64{{0.95, 0.05}, {0.05, 0.95}},
+		Means:   []float64{0, 150},
+		Stds:    []float64{1, 8},
+	}
+	sa, oa := sampleModel(rng, devA, 400)
+	sb, ob := sampleModel(rng, devB, 400)
+	obs := make([]float64, 400)
+	for i := range obs {
+		obs[i] = oa[i] + ob[i] + 3*rng.NormFloat64()
+	}
+	f, err := NewFactorial([]*Model{devA, devB}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := f.Decode(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrongA, wrongB int
+	for i := 0; i < 400; i++ {
+		if paths[0][i] != sa[i] {
+			wrongA++
+		}
+		if paths[1][i] != sb[i] {
+			wrongB++
+		}
+	}
+	if wrongA > 12 {
+		t.Errorf("device A decoding errors: %d/400", wrongA)
+	}
+	if wrongB > 40 {
+		t.Errorf("device B decoding errors: %d/400", wrongB)
+	}
+}
+
+func TestFactorialInferPower(t *testing.T) {
+	devA := &Model{
+		Initial: []float64{1, 0},
+		Trans:   [][]float64{{0.9, 0.1}, {0.1, 0.9}},
+		Means:   []float64{0, 500},
+		Stds:    []float64{1, 10},
+	}
+	f, err := NewFactorial([]*Model{devA}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []float64{0, 1, 498, 505, 2}
+	powers, err := f.InferPower(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 500, 500, 0}
+	for i := range want {
+		if powers[0][i] != want[i] {
+			t.Errorf("inferred[%d] = %v, want %v", i, powers[0][i], want[i])
+		}
+	}
+}
+
+func TestFactorialValidation(t *testing.T) {
+	if _, err := NewFactorial(nil, 1); !errors.Is(err, ErrBadModel) {
+		t.Errorf("empty chains error = %v", err)
+	}
+	if _, err := NewFactorial([]*Model{twoStateModel()}, 0); !errors.Is(err, ErrBadModel) {
+		t.Errorf("zero obs std error = %v", err)
+	}
+	bad := twoStateModel()
+	bad.Stds[0] = -1
+	if _, err := NewFactorial([]*Model{bad}, 1); !errors.Is(err, ErrBadModel) {
+		t.Errorf("invalid chain error = %v", err)
+	}
+	// State-space explosion guard: 17 chains of 2 states = 131072 > 65536.
+	var many []*Model
+	for i := 0; i < 17; i++ {
+		many = append(many, twoStateModel())
+	}
+	if _, err := NewFactorial(many, 1); !errors.Is(err, ErrBadModel) {
+		t.Errorf("state explosion error = %v", err)
+	}
+}
+
+func TestFactorialDecodeEmpty(t *testing.T) {
+	f, err := NewFactorial([]*Model{twoStateModel()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := f.Decode(nil)
+	if err != nil || len(paths) != 1 || len(paths[0]) != 0 {
+		t.Errorf("Decode(nil) = %v, %v", paths, err)
+	}
+}
+
+// Property: the Viterbi path's joint probability never exceeds the total
+// observation likelihood (the path is one term of the sum).
+func TestViterbiPathBoundedByLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m := twoStateModel()
+		_, obs := sampleModel(rng, m, 100+rng.Intn(200))
+		_, pathLL, err := m.Viterbi(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalLL, err := m.LogLikelihood(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pathLL > totalLL+1e-6 {
+			t.Fatalf("path log-prob %.4f exceeds total log-likelihood %.4f", pathLL, totalLL)
+		}
+	}
+}
+
+// Property: a single-chain factorial decode agrees with plain Viterbi when
+// observation noise is negligible.
+func TestFactorialSingleChainMatchesViterbi(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := twoStateModel()
+	_, obs := sampleModel(rng, m, 300)
+	f, err := NewFactorial([]*Model{m}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := f.Decode(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, _, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff int
+	for i := range solo {
+		if joint[0][i] != solo[i] {
+			diff++
+		}
+	}
+	// The factorial adds its tiny obs-noise variance to the emission model,
+	// so rare boundary samples may flip; bulk agreement is required.
+	if diff > len(solo)/50 {
+		t.Errorf("factorial and plain viterbi disagree on %d/%d states", diff, len(solo))
+	}
+}

@@ -1,0 +1,206 @@
+package home
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"privmem/internal/loads"
+	"privmem/internal/timeseries"
+)
+
+// activityScheduler turns occupant activity into appliance events.
+type activityScheduler struct {
+	cfg     Config
+	rng     *rand.Rand
+	catalog map[string]loads.Model
+}
+
+func newActivityScheduler(cfg Config, rng *rand.Rand, catalog map[string]loads.Model) *activityScheduler {
+	return &activityScheduler{cfg: cfg, rng: rng, catalog: catalog}
+}
+
+// deviceWeight returns the relative likelihood that an interactive event at
+// local hour h uses the given device, encoding routine structure (breakfast
+// appliances in the morning, TV and lighting at night, ...).
+func deviceWeight(device string, h int) float64 {
+	morning := h >= 6 && h < 10
+	midday := h >= 10 && h < 16
+	evening := h >= 16 && h < 21
+	night := h >= 21 || h < 6
+	switch device {
+	case loads.NameToaster, loads.NameKettle:
+		if morning {
+			return 3
+		}
+		if midday {
+			return 0.5
+		}
+		return 0.2
+	case loads.NameMicrowave:
+		if morning || evening {
+			return 2
+		}
+		return 0.8
+	case loads.NameOven:
+		if evening {
+			return 1.5
+		}
+		if midday {
+			return 0.4
+		}
+		return 0.05
+	case loads.NameTV:
+		if evening || night {
+			return 2.5
+		}
+		return 0.4
+	case loads.NameLighting:
+		if evening || night {
+			return 3
+		}
+		if morning {
+			return 1
+		}
+		return 0.2
+	case loads.NameDishwasher:
+		if evening {
+			return 0.8
+		}
+		return 0.1
+	default:
+		return 1
+	}
+}
+
+// pickDevice samples an interactive device for an event at hour h.
+func (s *activityScheduler) pickDevice(h int) string {
+	var total float64
+	for _, d := range s.cfg.InteractiveDevices {
+		total += deviceWeight(d, h)
+	}
+	r := s.rng.Float64() * total
+	for _, d := range s.cfg.InteractiveDevices {
+		r -= deviceWeight(d, h)
+		if r <= 0 {
+			return d
+		}
+	}
+	return s.cfg.InteractiveDevices[len(s.cfg.InteractiveDevices)-1]
+}
+
+// generate produces the interactive appliance event diary given the active
+// (home and awake) indicator series.
+func (s *activityScheduler) generate(active *timeseries.Series) ([]Event, error) {
+	if len(s.cfg.InteractiveDevices) == 0 {
+		return nil, nil
+	}
+	for _, d := range s.cfg.InteractiveDevices {
+		if _, ok := s.catalog[d]; !ok {
+			return nil, fmt.Errorf("unknown interactive device %q", d)
+		}
+	}
+	var events []Event
+	busyUntil := make(map[string]time.Time)
+	perStep := s.cfg.ActivityRatePerHour * s.cfg.Step.Hours()
+
+	for i := 0; i < active.Len(); i++ {
+		if active.Values[i] < 0.5 || s.rng.Float64() >= perStep {
+			continue
+		}
+		t := active.TimeAt(i)
+		dev := s.pickDevice(t.Hour())
+		if t.Before(busyUntil[dev]) {
+			continue
+		}
+		model := s.catalog[dev]
+		dur := jitterDuration(s.rng, model.OnDuration, model.DurationJitter)
+		events = append(events, Event{Device: dev, Start: t, Duration: dur})
+		busyUntil[dev] = t.Add(dur)
+	}
+
+	events = append(events, s.laundryEvents(active)...)
+	return events, nil
+}
+
+// laundryEvents schedules washer-then-dryer runs on the configured laundry
+// days, at a random active time.
+func (s *activityScheduler) laundryEvents(active *timeseries.Series) []Event {
+	var events []Event
+	washer, haveWasher := s.catalog[loads.NameWasher]
+	dryer, haveDryer := s.catalog[loads.NameDryer]
+	if !haveWasher || !haveDryer {
+		return nil
+	}
+	for d := 0; d < s.cfg.Days; d++ {
+		dayStart := s.cfg.Start.Add(time.Duration(d) * 24 * time.Hour)
+		if !containsWeekday(s.cfg.LaundryDays, dayStart.Weekday()) {
+			continue
+		}
+		// Pick an active minute between 9:00 and 19:00.
+		var candidates []time.Time
+		for h := 9.0; h < 19; h += 0.25 {
+			t := hourOffset(dayStart, h)
+			if active.At(t) >= 0.5 {
+				candidates = append(candidates, t)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		start := candidates[s.rng.Intn(len(candidates))]
+		wDur := jitterDuration(s.rng, washer.OnDuration, washer.DurationJitter)
+		dDur := jitterDuration(s.rng, dryer.OnDuration, dryer.DurationJitter)
+		events = append(events,
+			Event{Device: loads.NameWasher, Start: start, Duration: wDur},
+			Event{Device: loads.NameDryer, Start: start.Add(wDur + 5*time.Minute), Duration: dDur},
+		)
+	}
+	return events
+}
+
+func containsWeekday(days []time.Weekday, d time.Weekday) bool {
+	for _, x := range days {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+func jitterDuration(rng *rand.Rand, d time.Duration, jitter float64) time.Duration {
+	if jitter <= 0 {
+		return d
+	}
+	f := 1 + jitter*(2*rng.Float64()-1)
+	out := time.Duration(float64(d) * f)
+	if out < time.Minute {
+		out = time.Minute
+	}
+	return out
+}
+
+// generateWaterDraws produces hot-water draws from occupant routines:
+// a morning shower per present occupant, plus evening kitchen draws.
+func generateWaterDraws(cfg Config, rng *rand.Rand, occ *occupantModel) []WaterDraw {
+	var draws []WaterDraw
+	for d := 0; d < cfg.Days; d++ {
+		dayStart := cfg.Start.Add(time.Duration(d) * 24 * time.Hour)
+		wake := occ.wakeOn(d)
+		for o := 0; o < cfg.Occupants; o++ {
+			showerAt := hourOffset(dayStart, wake+rng.Float64()*1.5)
+			if occ.presentAt(o, showerAt) {
+				draws = append(draws, WaterDraw{
+					Time:   showerAt,
+					Liters: 35 + 25*rng.Float64(),
+				})
+			}
+		}
+		// Evening kitchen/cleanup draw when anyone is home.
+		evening := hourOffset(dayStart, 18+2*rng.Float64())
+		if occ.anyoneHome(evening) {
+			draws = append(draws, WaterDraw{Time: evening, Liters: 10 + 15*rng.Float64()})
+		}
+	}
+	return draws
+}

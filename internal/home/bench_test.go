@@ -1,0 +1,15 @@
+package home
+
+import "testing"
+
+// BenchmarkSimulateWeek measures a full 7-day household simulation at
+// 1-minute resolution (the unit of work behind most experiments).
+func BenchmarkSimulateWeek(b *testing.B) {
+	cfg := DefaultConfig(42)
+	cfg.Days = 7
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package home
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"privmem/internal/loads"
+)
+
+func simulateDefault(t *testing.T, seed int64) *Trace {
+	t.Helper()
+	tr, err := Simulate(DefaultConfig(seed))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return tr
+}
+
+func TestSimulateShapes(t *testing.T) {
+	tr := simulateDefault(t, 1)
+	wantLen := 7 * 24 * 60
+	if tr.Aggregate.Len() != wantLen {
+		t.Fatalf("aggregate len = %d, want %d", tr.Aggregate.Len(), wantLen)
+	}
+	if tr.Occupancy.Len() != wantLen || tr.Active.Len() != wantLen {
+		t.Fatal("ground truth series length mismatch")
+	}
+	for name, dev := range tr.Appliances {
+		if dev.Len() != wantLen {
+			t.Errorf("appliance %q len = %d", name, dev.Len())
+		}
+	}
+}
+
+func TestAggregateIsSumOfAppliances(t *testing.T) {
+	tr := simulateDefault(t, 2)
+	for _, i := range []int{0, 1000, 5000, tr.Aggregate.Len() - 1} {
+		var sum float64
+		for _, dev := range tr.Appliances {
+			sum += dev.Values[i]
+		}
+		if math.Abs(sum-tr.Aggregate.Values[i]) > 1e-9 {
+			t.Errorf("sample %d: aggregate %.2f != sum %.2f", i, tr.Aggregate.Values[i], sum)
+		}
+	}
+}
+
+func TestOccupancyIsBinaryAndActiveImpliesOccupied(t *testing.T) {
+	tr := simulateDefault(t, 3)
+	for i := range tr.Occupancy.Values {
+		o, a := tr.Occupancy.Values[i], tr.Active.Values[i]
+		if o != 0 && o != 1 {
+			t.Fatalf("occupancy[%d] = %v not binary", i, o)
+		}
+		if a != 0 && a != 1 {
+			t.Fatalf("active[%d] = %v not binary", i, a)
+		}
+		if a == 1 && o == 0 {
+			t.Fatalf("active[%d]=1 but occupancy=0", i)
+		}
+	}
+}
+
+func TestOccupancyVariesAndNightIsOccupied(t *testing.T) {
+	tr := simulateDefault(t, 4)
+	mean := tr.Occupancy.Mean()
+	if mean < 0.3 || mean > 0.99 {
+		t.Errorf("occupancy fraction = %.2f, want workday-like variation", mean)
+	}
+	// 3am on each day should be occupied (everyone sleeps at home).
+	for d := 0; d < 7; d++ {
+		at := tr.Occupancy.Start.Add(time.Duration(d)*24*time.Hour + 3*time.Hour)
+		if tr.Occupancy.At(at) != 1 {
+			t.Errorf("day %d 3am unoccupied", d)
+		}
+	}
+}
+
+func TestOccupiedPeriodsAreBurstier(t *testing.T) {
+	// The NIOM premise: occupied+active windows have higher mean and
+	// burstiness than unoccupied windows.
+	tr := simulateDefault(t, 5)
+	var occMean, unoccMean float64
+	var occN, unoccN int
+	diffs := tr.Aggregate.Diff()
+	var occBurst, unoccBurst float64
+	for i := 0; i < diffs.Len(); i++ {
+		d := math.Abs(diffs.Values[i])
+		if tr.Active.Values[i] == 1 {
+			occMean += tr.Aggregate.Values[i]
+			occBurst += d
+			occN++
+		} else if tr.Occupancy.Values[i] == 0 {
+			unoccMean += tr.Aggregate.Values[i]
+			unoccBurst += d
+			unoccN++
+		}
+	}
+	if occN == 0 || unoccN == 0 {
+		t.Fatal("degenerate occupancy split")
+	}
+	occMean /= float64(occN)
+	unoccMean /= float64(unoccN)
+	occBurst /= float64(occN)
+	unoccBurst /= float64(unoccN)
+	if occMean <= unoccMean {
+		t.Errorf("occupied mean %.1f W <= unoccupied mean %.1f W", occMean, unoccMean)
+	}
+	if occBurst <= unoccBurst {
+		t.Errorf("occupied burstiness %.1f <= unoccupied %.1f", occBurst, unoccBurst)
+	}
+}
+
+func TestBackgroundLoadsRunWhileUnoccupied(t *testing.T) {
+	tr := simulateDefault(t, 6)
+	fridge := tr.Appliances[loads.NameFridge]
+	var unoccFridge float64
+	for i := range fridge.Values {
+		if tr.Occupancy.Values[i] == 0 {
+			unoccFridge += fridge.Values[i]
+		}
+	}
+	if unoccFridge == 0 {
+		t.Error("fridge never ran while home unoccupied")
+	}
+}
+
+func TestInteractiveLoadsOnlyWhileActive(t *testing.T) {
+	tr := simulateDefault(t, 7)
+	for _, ev := range tr.Events {
+		if ev.Device == loads.NameDryer || ev.Device == loads.NameWasher {
+			continue // laundry may finish after occupants leave
+		}
+		if tr.Active.At(ev.Start) != 1 {
+			t.Errorf("event %s at %v started while inactive", ev.Device, ev.Start)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := simulateDefault(t, 42)
+	b := simulateDefault(t, 42)
+	for i := range a.Aggregate.Values {
+		if a.Aggregate.Values[i] != b.Aggregate.Values[i] {
+			t.Fatalf("same seed diverged at sample %d", i)
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	c := simulateDefault(t, 43)
+	same := true
+	for i := range a.Aggregate.Values {
+		if a.Aggregate.Values[i] != c.Aggregate.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestEventsSortedAndInRange(t *testing.T) {
+	tr := simulateDefault(t, 8)
+	end := tr.Aggregate.End()
+	for i, ev := range tr.Events {
+		if i > 0 && ev.Start.Before(tr.Events[i-1].Start) {
+			t.Fatal("events not sorted")
+		}
+		if ev.Start.Before(tr.Aggregate.Start) || !ev.Start.Before(end) {
+			t.Errorf("event %s at %v outside simulation", ev.Device, ev.Start)
+		}
+		if ev.Duration <= 0 {
+			t.Errorf("event %s has non-positive duration", ev.Device)
+		}
+	}
+}
+
+func TestWaterDrawsPlausible(t *testing.T) {
+	tr := simulateDefault(t, 9)
+	if len(tr.WaterDraws) < 7 {
+		t.Fatalf("only %d water draws in a week", len(tr.WaterDraws))
+	}
+	for _, d := range tr.WaterDraws {
+		if d.Liters <= 0 || d.Liters > 100 {
+			t.Errorf("draw of %.1f liters implausible", d.Liters)
+		}
+	}
+	heater, ok := tr.Appliances[loads.NameWaterHeater]
+	if !ok {
+		t.Fatal("water heater trace missing")
+	}
+	if heater.Energy() <= 0 {
+		t.Error("water heater used no energy")
+	}
+}
+
+func TestLaundryOnConfiguredDays(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.Days = 14
+	cfg.LaundryDays = []time.Weekday{time.Saturday}
+	tr, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dryerRuns int
+	for _, ev := range tr.Events {
+		if ev.Device == loads.NameDryer {
+			dryerRuns++
+			if ev.Start.Weekday() != time.Saturday {
+				t.Errorf("dryer ran on %v", ev.Start.Weekday())
+			}
+		}
+	}
+	if dryerRuns == 0 {
+		t.Error("no dryer runs in two weeks with Saturday laundry")
+	}
+}
+
+func TestSimulateConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero days", mutate: func(c *Config) { c.Days = 0 }},
+		{name: "bad step", mutate: func(c *Config) { c.Step = 7 * time.Second }},
+		{name: "wake after sleep", mutate: func(c *Config) { c.WakeHour = 23; c.SleepHour = 6 }},
+		{name: "negative activity", mutate: func(c *Config) { c.ActivityRatePerHour = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig(1)
+			tt.mutate(&cfg)
+			if _, err := Simulate(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("Simulate error = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+	t.Run("unknown device", func(t *testing.T) {
+		cfg := DefaultConfig(1)
+		cfg.BackgroundDevices = []string{"flux-capacitor"}
+		if _, err := Simulate(cfg); err == nil {
+			t.Error("unknown device should fail")
+		}
+		cfg = DefaultConfig(1)
+		cfg.InteractiveDevices = []string{"mr-fusion"}
+		if _, err := Simulate(cfg); err == nil {
+			t.Error("unknown interactive device should fail")
+		}
+	})
+}
+
+func TestPopulationDiversity(t *testing.T) {
+	traces, err := Population(77, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 6 {
+		t.Fatalf("got %d homes", len(traces))
+	}
+	energies := make(map[int64]bool)
+	for _, tr := range traces {
+		energies[int64(tr.Aggregate.Energy())] = true
+	}
+	if len(energies) < 4 {
+		t.Errorf("population not diverse: %d distinct energies of 6", len(energies))
+	}
+}
+
+func TestRandomConfigValidAcrossIndexes(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		cfg := RandomConfig(5, i)
+		cfg.Days = 1
+		if _, err := Simulate(cfg); err != nil {
+			t.Fatalf("RandomConfig(%d) invalid: %v", i, err)
+		}
+	}
+}
+
+func TestVacationDays(t *testing.T) {
+	cfg := DefaultConfig(15)
+	cfg.Days = 7
+	cfg.VacationDays = []int{2, 3}
+	tr, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 7; d++ {
+		day := tr.Occupancy.Slice(d*1440, (d+1)*1440)
+		onVacation := d == 2 || d == 3
+		if onVacation && day.Sum() != 0 {
+			t.Errorf("day %d: occupied %v minutes during vacation", d, day.Sum())
+		}
+		if !onVacation && day.Sum() == 0 {
+			t.Errorf("day %d: never occupied outside vacation", d)
+		}
+	}
+	// No interactive appliance events during the vacation.
+	for _, ev := range tr.Events {
+		d := int(ev.Start.Sub(cfg.Start) / (24 * time.Hour))
+		if (d == 2 || d == 3) && ev.Device != "dryer" && ev.Device != "washer" {
+			t.Errorf("event %s on vacation day %d", ev.Device, d)
+		}
+	}
+}

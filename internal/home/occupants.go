@@ -1,0 +1,128 @@
+package home
+
+import (
+	"math/rand"
+	"time"
+
+	"privmem/internal/stats"
+	"privmem/internal/timeseries"
+)
+
+// interval is a half-open absence interval [from, to) for one occupant.
+type interval struct {
+	from, to time.Time
+}
+
+// occupantModel holds each occupant's per-day wake/sleep times and absence
+// intervals for the whole simulation.
+type occupantModel struct {
+	cfg Config
+	// absences[o] lists when occupant o is away.
+	absences [][]interval
+	// wake[d] and sleep[d] are the household's awake bounds on day d,
+	// expressed as decimal hours.
+	wake, sleep []float64
+}
+
+func newOccupantModel(cfg Config, rng *rand.Rand) *occupantModel {
+	m := &occupantModel{
+		cfg:      cfg,
+		absences: make([][]interval, cfg.Occupants),
+		wake:     make([]float64, cfg.Days),
+		sleep:    make([]float64, cfg.Days),
+	}
+	for d := 0; d < cfg.Days; d++ {
+		m.wake[d] = stats.TruncNormal(rng, cfg.WakeHour, cfg.ScheduleJitterH/2, cfg.WakeHour-1.5, cfg.WakeHour+1.5)
+		m.sleep[d] = stats.TruncNormal(rng, cfg.SleepHour, cfg.ScheduleJitterH/2, cfg.SleepHour-1.5, 24)
+	}
+	vacation := make(map[int]bool, len(cfg.VacationDays))
+	for _, d := range cfg.VacationDays {
+		vacation[d] = true
+	}
+	for o := 0; o < cfg.Occupants; o++ {
+		for d := 0; d < cfg.Days; d++ {
+			dayStart := cfg.Start.Add(time.Duration(d) * 24 * time.Hour)
+			if vacation[d] {
+				m.absences[o] = append(m.absences[o], interval{
+					from: dayStart,
+					to:   dayStart.Add(24 * time.Hour),
+				})
+				continue
+			}
+			weekday := dayStart.Weekday()
+			isWeekend := weekday == time.Saturday || weekday == time.Sunday
+			switch {
+			case !isWeekend && rng.Float64() < cfg.EmploymentProb:
+				leave := stats.TruncNormal(rng, cfg.LeaveHour, cfg.ScheduleJitterH, m.wake[d], 12)
+				ret := stats.TruncNormal(rng, cfg.ReturnHour, cfg.ScheduleJitterH, leave+1, 23)
+				m.absences[o] = append(m.absences[o], interval{
+					from: hourOffset(dayStart, leave),
+					to:   hourOffset(dayStart, ret),
+				})
+			case isWeekend && rng.Float64() < cfg.WeekendErrandProb:
+				start := stats.TruncNormal(rng, 13, 2.5, m.wake[d]+1, 19)
+				dur := 1 + 2*rng.Float64()
+				m.absences[o] = append(m.absences[o], interval{
+					from: hourOffset(dayStart, start),
+					to:   hourOffset(dayStart, start+dur),
+				})
+			}
+		}
+	}
+	return m
+}
+
+func hourOffset(dayStart time.Time, h float64) time.Time {
+	return dayStart.Add(time.Duration(h * float64(time.Hour)))
+}
+
+// presentAt reports whether occupant o is home at t.
+func (m *occupantModel) presentAt(o int, t time.Time) bool {
+	for _, iv := range m.absences[o] {
+		if !t.Before(iv.from) && t.Before(iv.to) {
+			return false
+		}
+	}
+	return true
+}
+
+// anyoneHome reports whether at least one occupant is home at t.
+func (m *occupantModel) anyoneHome(t time.Time) bool {
+	for o := 0; o < m.cfg.Occupants; o++ {
+		if m.presentAt(o, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// awakeAt reports whether the household is inside the awake window at t.
+func (m *occupantModel) awakeAt(t time.Time) bool {
+	d := int(t.Sub(m.cfg.Start) / (24 * time.Hour))
+	if d < 0 || d >= m.cfg.Days {
+		return false
+	}
+	h := float64(t.Hour()) + float64(t.Minute())/60 + float64(t.Second())/3600
+	return h >= m.wake[d] && h < m.sleep[d]
+}
+
+// fill writes the binary occupancy and active ground-truth series.
+func (m *occupantModel) fill(occupancy, active *timeseries.Series) {
+	for i := 0; i < occupancy.Len(); i++ {
+		t := occupancy.TimeAt(i)
+		if m.anyoneHome(t) {
+			occupancy.Values[i] = 1
+			if m.awakeAt(t) {
+				active.Values[i] = 1
+			}
+		}
+	}
+}
+
+// wakeOn returns the wake hour for simulation day d (clamped).
+func (m *occupantModel) wakeOn(d int) float64 {
+	if d < 0 || d >= len(m.wake) {
+		return m.cfg.WakeHour
+	}
+	return m.wake[d]
+}

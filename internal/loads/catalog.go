@@ -1,0 +1,124 @@
+package loads
+
+import (
+	"fmt"
+	"time"
+)
+
+// Standard device names used across the repository. The five tracked names
+// are the devices of the paper's Figure 2.
+const (
+	NameToaster      = "toaster"
+	NameFridge       = "fridge"
+	NameFreezer      = "freezer"
+	NameDryer        = "dryer"
+	NameHRV          = "hrv"
+	NameMicrowave    = "microwave"
+	NameKettle       = "kettle"
+	NameTV           = "tv"
+	NameLighting     = "lighting"
+	NameWasher       = "washer"
+	NameDishwasher   = "dishwasher"
+	NameOven         = "oven"
+	NameWaterHeater  = "water-heater"
+	NameFurnaceFan   = "furnace-fan"
+	NameStandby      = "standby"
+	NameDehumidifier = "dehumidifier"
+)
+
+// Catalog returns the standard household device models used by the home
+// simulator and (for the tracked subset) by PowerPlay. Parameters follow
+// the empirical load characterization of Barker et al. [18]: nameplate-
+// scale powers, realistic duty cycles, inrush for motor loads, and high
+// jitter for electronics.
+func Catalog() map[string]Model {
+	return map[string]Model{
+		NameToaster: {
+			Name: NameToaster, Type: Resistive, OnPower: 900,
+			PowerJitter: 0.02, OnDuration: 3 * time.Minute, DurationJitter: 0.3,
+		},
+		NameKettle: {
+			Name: NameKettle, Type: Resistive, OnPower: 1250,
+			PowerJitter: 0.02, OnDuration: 4 * time.Minute, DurationJitter: 0.25,
+		},
+		NameMicrowave: {
+			Name: NameMicrowave, Type: NonLinear, OnPower: 1150,
+			PowerJitter: 0.05, OnDuration: 3 * time.Minute, DurationJitter: 0.5,
+		},
+		NameOven: {
+			Name: NameOven, Type: Cyclical, OnPower: 2300,
+			PowerJitter: 0.02, OnDuration: 6 * time.Minute,
+			OffDuration: 4 * time.Minute, DurationJitter: 0.2,
+		},
+		NameFridge: {
+			Name: NameFridge, Type: Cyclical, OnPower: 130,
+			PowerJitter: 0.06, InrushFactor: 0, OnDuration: 18 * time.Minute,
+			OffDuration: 35 * time.Minute, DurationJitter: 0.2,
+		},
+		NameFreezer: {
+			Name: NameFreezer, Type: Cyclical, OnPower: 95,
+			PowerJitter: 0.06, OnDuration: 14 * time.Minute,
+			OffDuration: 41 * time.Minute, DurationJitter: 0.2,
+		},
+		NameHRV: {
+			Name: NameHRV, Type: Cyclical, OnPower: 160,
+			PowerJitter: 0.05, OnDuration: 20 * time.Minute,
+			OffDuration: 40 * time.Minute, DurationJitter: 0.1,
+		},
+		NameDehumidifier: {
+			Name: NameDehumidifier, Type: Cyclical, OnPower: 280,
+			PowerJitter: 0.05, OnDuration: 25 * time.Minute,
+			OffDuration: 50 * time.Minute, DurationJitter: 0.25,
+		},
+		NameDryer: {
+			Name: NameDryer, Type: Resistive, OnPower: 4800,
+			PowerJitter: 0.03, OnDuration: 45 * time.Minute, DurationJitter: 0.2,
+		},
+		NameWasher: {
+			Name: NameWasher, Type: Inductive, OnPower: 500,
+			PowerJitter: 0.12, InrushFactor: 2.2,
+			OnDuration: 35 * time.Minute, DurationJitter: 0.2,
+		},
+		NameDishwasher: {
+			Name: NameDishwasher, Type: Resistive, OnPower: 1200,
+			PowerJitter: 0.15, OnDuration: 50 * time.Minute, DurationJitter: 0.15,
+		},
+		NameTV: {
+			Name: NameTV, Type: NonLinear, OnPower: 210,
+			PowerJitter: 0.08, OnDuration: 2 * time.Hour, DurationJitter: 0.5,
+		},
+		NameLighting: {
+			Name: NameLighting, Type: Resistive, OnPower: 190,
+			PowerJitter: 0.05, OnDuration: 90 * time.Minute, DurationJitter: 0.5,
+		},
+		NameWaterHeater: {
+			Name: NameWaterHeater, Type: Resistive, OnPower: 4500,
+			PowerJitter: 0.01, OnDuration: 20 * time.Minute, DurationJitter: 0.3,
+		},
+		NameFurnaceFan: {
+			Name: NameFurnaceFan, Type: Inductive, OnPower: 300,
+			PowerJitter: 0.08, InrushFactor: 1.3,
+			OnDuration: 12 * time.Minute, OffDuration: 48 * time.Minute,
+			DurationJitter: 0.2,
+		},
+		NameStandby: {
+			Name: NameStandby, Type: NonLinear, OnPower: 65,
+			PowerJitter: 0.08, OnDuration: 24 * time.Hour,
+		},
+	}
+}
+
+// Lookup returns the catalog model with the given name.
+func Lookup(name string) (Model, error) {
+	m, ok := Catalog()[name]
+	if !ok {
+		return Model{}, fmt.Errorf("loads: unknown device %q", name)
+	}
+	return m, nil
+}
+
+// TrackedDevices returns the five devices of the paper's Figure 2, in the
+// paper's order.
+func TrackedDevices() []string {
+	return []string{NameToaster, NameFridge, NameFreezer, NameDryer, NameHRV}
+}

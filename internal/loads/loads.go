@@ -1,0 +1,178 @@
+// Package loads models household electrical loads following the empirical
+// characterization of Barker et al. [18]: every appliance is built from four
+// archetypes — resistive, inductive, non-linear, and cyclical — each with a
+// small parameterized power-signature model. The home simulator composes
+// these models into ground-truth traces, and PowerPlay consumes the same
+// models as its a-priori device knowledge, exactly as the paper describes.
+package loads
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Archetype classifies a load by its fundamental electrical behaviour,
+// following Barker et al. [18].
+type Archetype int
+
+// The four load archetypes.
+const (
+	// Resistive loads (toaster, kettle, incandescent light, water-heater
+	// element) draw near-constant power while on.
+	Resistive Archetype = iota + 1
+	// Inductive loads (motors: washer, furnace fan) draw an inrush spike at
+	// start-up that decays to a steady level.
+	Inductive
+	// NonLinear loads (electronics: TV, console, LED lighting) draw
+	// fluctuating power around a mean while on.
+	NonLinear
+	// Cyclical loads (fridge, freezer, HRV, dehumidifier) alternate
+	// autonomously between on and off phases with a duty cycle.
+	Cyclical
+)
+
+// String implements fmt.Stringer.
+func (a Archetype) String() string {
+	switch a {
+	case Resistive:
+		return "resistive"
+	case Inductive:
+		return "inductive"
+	case NonLinear:
+		return "non-linear"
+	case Cyclical:
+		return "cyclical"
+	default:
+		return fmt.Sprintf("Archetype(%d)", int(a))
+	}
+}
+
+// ErrBadModel indicates a load model with invalid parameters.
+var ErrBadModel = errors.New("loads: invalid model")
+
+// Model is the parameterized power-signature model of one device, the unit
+// of a-priori knowledge PowerPlay assumes. All powers are in watts and all
+// durations in simulator steps are expressed as time.Duration.
+type Model struct {
+	// Name identifies the device ("fridge", "toaster", ...).
+	Name string
+	// Type is the load archetype.
+	Type Archetype
+	// OnPower is the steady active power while on.
+	OnPower float64
+	// PowerJitter is the relative (0..1) sample-to-sample noise around
+	// OnPower while on. Non-linear loads have large jitter.
+	PowerJitter float64
+	// InrushFactor multiplies OnPower during the first on-sample of an
+	// inductive load (motor start). Zero means no inrush.
+	InrushFactor float64
+	// OnDuration is the typical duration of one activation (for interactive
+	// and cyclical loads). For cyclical loads it is the compressor on-phase.
+	OnDuration time.Duration
+	// OffDuration is the off-phase of a cyclical load's duty cycle.
+	// It is ignored for non-cyclical loads.
+	OffDuration time.Duration
+	// DurationJitter is the relative (0..1) randomization of on/off phase
+	// durations.
+	DurationJitter float64
+}
+
+// Validate reports whether the model's parameters are usable.
+func (m Model) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("%w: empty name", ErrBadModel)
+	case m.Type < Resistive || m.Type > Cyclical:
+		return fmt.Errorf("%w: %q: unknown archetype %d", ErrBadModel, m.Name, m.Type)
+	case m.OnPower <= 0:
+		return fmt.Errorf("%w: %q: on-power %.1f W", ErrBadModel, m.Name, m.OnPower)
+	case m.OnDuration <= 0:
+		return fmt.Errorf("%w: %q: on-duration %v", ErrBadModel, m.Name, m.OnDuration)
+	case m.Type == Cyclical && m.OffDuration <= 0:
+		return fmt.Errorf("%w: %q: cyclical load needs off-duration", ErrBadModel, m.Name)
+	case m.PowerJitter < 0 || m.PowerJitter > 1:
+		return fmt.Errorf("%w: %q: power jitter %.2f", ErrBadModel, m.Name, m.PowerJitter)
+	case m.DurationJitter < 0 || m.DurationJitter > 1:
+		return fmt.Errorf("%w: %q: duration jitter %.2f", ErrBadModel, m.Name, m.DurationJitter)
+	}
+	return nil
+}
+
+// jittered returns d randomized by +/- m.DurationJitter.
+func (m Model) jittered(rng *rand.Rand, d time.Duration) time.Duration {
+	if m.DurationJitter == 0 {
+		return d
+	}
+	f := 1 + m.DurationJitter*(2*rng.Float64()-1)
+	out := time.Duration(float64(d) * f)
+	if out <= 0 {
+		out = d
+	}
+	return out
+}
+
+// SamplePower returns one instantaneous power sample for a device that has
+// been on for sinceOn (sinceOn == 0 means the first sample after turn-on).
+func (m Model) SamplePower(rng *rand.Rand, sinceOn time.Duration) float64 {
+	p := m.OnPower
+	if m.Type == Inductive && m.InrushFactor > 1 && sinceOn == 0 {
+		p *= m.InrushFactor
+	}
+	if m.PowerJitter > 0 {
+		p *= 1 + m.PowerJitter*(2*rng.Float64()-1)
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Activation is one on-interval of a device: [Start, Start+Duration).
+type Activation struct {
+	// Start is when the device turns on.
+	Start time.Time
+	// Duration is how long it stays on.
+	Duration time.Duration
+}
+
+// CycleSchedule returns the autonomous on-intervals of a duty-cycled load
+// over [start, end), beginning at a random phase offset. The model must have
+// a positive OffDuration (true of all Cyclical loads, and of duty-cycled
+// motor loads such as a furnace fan).
+func (m Model) CycleSchedule(rng *rand.Rand, start, end time.Time) ([]Activation, error) {
+	if m.OffDuration <= 0 {
+		return nil, fmt.Errorf("cycle schedule for %q: %w: no off-duration", m.Name, ErrBadModel)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	period := m.OnDuration + m.OffDuration
+	t := start.Add(-time.Duration(rng.Int63n(int64(period))))
+	var acts []Activation
+	for t.Before(end) {
+		on := m.jittered(rng, m.OnDuration)
+		off := m.jittered(rng, m.OffDuration)
+		if t.Add(on).After(start) {
+			acts = append(acts, Activation{Start: t, Duration: on})
+		}
+		t = t.Add(on + off)
+	}
+	return acts, nil
+}
+
+// MatchesDelta reports whether an observed step change of magnitude
+// |deltaW| is consistent with this device switching on or off, within the
+// given relative tolerance. PowerPlay uses this to attribute edges.
+func (m Model) MatchesDelta(deltaW, tolerance float64) bool {
+	if deltaW < 0 {
+		deltaW = -deltaW
+	}
+	lo := m.OnPower * (1 - tolerance)
+	hi := m.OnPower * (1 + tolerance)
+	if m.Type == Inductive && m.InrushFactor > 1 {
+		hi = m.OnPower * m.InrushFactor * (1 + tolerance)
+	}
+	return deltaW >= lo && deltaW <= hi
+}

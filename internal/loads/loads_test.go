@@ -1,0 +1,232 @@
+package loads
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCatalogModelsValidate(t *testing.T) {
+	for name, m := range Catalog() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("catalog model %q invalid: %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("catalog key %q != model name %q", name, m.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	m, err := Lookup(NameFridge)
+	if err != nil || m.Type != Cyclical {
+		t.Errorf("Lookup(fridge) = %+v, %v", m, err)
+	}
+	if _, err := Lookup("nonexistent"); err == nil {
+		t.Error("Lookup(nonexistent) should fail")
+	}
+}
+
+func TestTrackedDevicesMatchFigure2(t *testing.T) {
+	want := []string{"toaster", "fridge", "freezer", "dryer", "hrv"}
+	got := TrackedDevices()
+	if len(got) != len(want) {
+		t.Fatalf("TrackedDevices = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TrackedDevices[%d] = %q, want %q", i, got[i], want[i])
+		}
+		if _, err := Lookup(got[i]); err != nil {
+			t.Errorf("tracked device %q not in catalog", got[i])
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	valid := Model{Name: "x", Type: Resistive, OnPower: 100, OnDuration: time.Minute}
+	tests := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{name: "empty name", mutate: func(m *Model) { m.Name = "" }},
+		{name: "zero archetype", mutate: func(m *Model) { m.Type = 0 }},
+		{name: "unknown archetype", mutate: func(m *Model) { m.Type = 99 }},
+		{name: "zero power", mutate: func(m *Model) { m.OnPower = 0 }},
+		{name: "zero duration", mutate: func(m *Model) { m.OnDuration = 0 }},
+		{name: "cyclical without off", mutate: func(m *Model) { m.Type = Cyclical }},
+		{name: "jitter above one", mutate: func(m *Model) { m.PowerJitter = 1.5 }},
+		{name: "negative duration jitter", mutate: func(m *Model) { m.DurationJitter = -0.1 }},
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("baseline model invalid: %v", err)
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := valid
+			tt.mutate(&m)
+			if err := m.Validate(); !errors.Is(err, ErrBadModel) {
+				t.Errorf("Validate() = %v, want ErrBadModel", err)
+			}
+		})
+	}
+}
+
+func TestArchetypeString(t *testing.T) {
+	tests := []struct {
+		a    Archetype
+		want string
+	}{
+		{Resistive, "resistive"},
+		{Inductive, "inductive"},
+		{NonLinear, "non-linear"},
+		{Cyclical, "cyclical"},
+		{Archetype(42), "Archetype(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSamplePowerInrush(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Model{Name: "motor", Type: Inductive, OnPower: 500, InrushFactor: 2,
+		OnDuration: time.Minute}
+	first := m.SamplePower(rng, 0)
+	if math.Abs(first-1000) > 1 {
+		t.Errorf("inrush sample = %v, want ~1000", first)
+	}
+	later := m.SamplePower(rng, time.Minute)
+	if math.Abs(later-500) > 1 {
+		t.Errorf("steady sample = %v, want ~500", later)
+	}
+}
+
+func TestSamplePowerJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Model{Name: "tv", Type: NonLinear, OnPower: 100, PowerJitter: 0.2,
+		OnDuration: time.Hour}
+	for i := 0; i < 1000; i++ {
+		p := m.SamplePower(rng, time.Duration(i)*time.Minute)
+		if p < 80-1e-9 || p > 120+1e-9 {
+			t.Fatalf("jittered power %v outside [80,120]", p)
+		}
+	}
+}
+
+func TestCycleSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := Lookup(NameFridge)
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(24 * time.Hour)
+	acts, err := m.CycleSchedule(rng, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fridge period ~53 min -> roughly 24-30 cycles/day.
+	if len(acts) < 18 || len(acts) > 40 {
+		t.Errorf("fridge cycles/day = %d", len(acts))
+	}
+	for i, a := range acts {
+		if a.Duration <= 0 {
+			t.Errorf("activation %d has duration %v", i, a.Duration)
+		}
+		if i > 0 && a.Start.Before(acts[i-1].Start.Add(acts[i-1].Duration)) {
+			t.Errorf("activation %d overlaps previous", i)
+		}
+		if !a.Start.Add(a.Duration).After(start) {
+			t.Errorf("activation %d entirely before window", i)
+		}
+	}
+}
+
+func TestCycleScheduleRequiresOffDuration(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := Lookup(NameToaster)
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := m.CycleSchedule(rng, start, start.Add(time.Hour)); !errors.Is(err, ErrBadModel) {
+		t.Errorf("CycleSchedule on toaster = %v, want ErrBadModel", err)
+	}
+}
+
+func TestMatchesDelta(t *testing.T) {
+	m := Model{Name: "t", Type: Resistive, OnPower: 1000, OnDuration: time.Minute}
+	tests := []struct {
+		delta float64
+		want  bool
+	}{
+		{1000, true},
+		{-1000, true}, // off edges match by magnitude
+		{920, true},
+		{1080, true},
+		{850, false},
+		{1200, false},
+		{0, false},
+	}
+	for _, tt := range tests {
+		if got := m.MatchesDelta(tt.delta, 0.1); got != tt.want {
+			t.Errorf("MatchesDelta(%v) = %v, want %v", tt.delta, got, tt.want)
+		}
+	}
+	// Inductive loads accept deltas up to the inrush magnitude.
+	motor := Model{Name: "m", Type: Inductive, OnPower: 500, InrushFactor: 2, OnDuration: time.Minute}
+	if !motor.MatchesDelta(950, 0.1) {
+		t.Error("inrush-scale delta should match inductive model")
+	}
+	if motor.MatchesDelta(1200, 0.1) {
+		t.Error("delta above inrush bound should not match")
+	}
+}
+
+// Property: SamplePower is always non-negative and finite.
+func TestQuickSamplePowerNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(power uint16, jitterRaw uint8, sinceMin uint16) bool {
+		m := Model{
+			Name:        "q",
+			Type:        NonLinear,
+			OnPower:     float64(power%5000) + 1,
+			PowerJitter: float64(jitterRaw%100) / 100,
+			OnDuration:  time.Hour,
+		}
+		p := m.SamplePower(rng, time.Duration(sinceMin)*time.Minute)
+		return p >= 0 && !math.IsNaN(p) && !math.IsInf(p, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cycle schedules never overlap and respect duration jitter bounds.
+func TestQuickCycleScheduleNonOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(onMin, offMin uint8, jitterRaw uint8) bool {
+		m := Model{
+			Name:           "cyc",
+			Type:           Cyclical,
+			OnPower:        100,
+			OnDuration:     time.Duration(onMin%60+1) * time.Minute,
+			OffDuration:    time.Duration(offMin%60+1) * time.Minute,
+			DurationJitter: float64(jitterRaw%50) / 100,
+		}
+		start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+		acts, err := m.CycleSchedule(rng, start, start.Add(12*time.Hour))
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(acts); i++ {
+			if acts[i].Start.Before(acts[i-1].Start.Add(acts[i-1].Duration)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

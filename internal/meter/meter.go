@@ -1,0 +1,124 @@
+// Package meter models advanced metering infrastructure (AMI): the smart
+// meter that samples a home's aggregate power, and the net meter that
+// combines consumption with behind-the-meter solar generation. The meter is
+// the boundary between ground truth and what any attacker (utility,
+// analytics company, eavesdropper) can observe, so every attack in this
+// repository consumes meter output, never simulator ground truth.
+package meter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"privmem/internal/timeseries"
+)
+
+// ErrBadConfig indicates invalid meter parameters.
+var ErrBadConfig = errors.New("meter: invalid config")
+
+// Config parameterizes a smart meter.
+type Config struct {
+	// Seed drives measurement-noise randomness.
+	Seed int64
+	// Interval is the reporting interval (e.g. time.Minute for 1-min AMI
+	// data, time.Hour for coarse data). It must be a multiple of the input
+	// trace's step.
+	Interval time.Duration
+	// NoiseStd is the standard deviation of additive Gaussian measurement
+	// noise in watts.
+	NoiseStd float64
+	// QuantizationW rounds each reading to the nearest multiple (e.g. 1 W).
+	// Zero disables quantization.
+	QuantizationW float64
+}
+
+// DefaultConfig returns a 1-minute AMI meter with 5 W noise and 1 W
+// quantization.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, Interval: time.Minute, NoiseStd: 5, QuantizationW: 1}
+}
+
+// Read samples the ground-truth power series through the meter: resampling
+// to the reporting interval, adding measurement noise, and quantizing.
+// Power readings are clamped at zero (a consumption-only meter cannot report
+// negative power); use ReadNet for a bidirectional net meter.
+func Read(cfg Config, truth *timeseries.Series) (*timeseries.Series, error) {
+	return read(cfg, truth, false)
+}
+
+// ReadNet samples a bidirectional net meter: readings may be negative when
+// behind-the-meter generation exceeds consumption.
+func ReadNet(cfg Config, truth *timeseries.Series) (*timeseries.Series, error) {
+	return read(cfg, truth, true)
+}
+
+func read(cfg Config, truth *timeseries.Series, bidirectional bool) (*timeseries.Series, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("meter read: %w: interval %v", ErrBadConfig, cfg.Interval)
+	}
+	if cfg.NoiseStd < 0 || cfg.QuantizationW < 0 {
+		return nil, fmt.Errorf("meter read: %w: negative noise/quantization", ErrBadConfig)
+	}
+	out, err := truth.Resample(cfg.Interval)
+	if err != nil {
+		return nil, fmt.Errorf("meter read: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i, v := range out.Values {
+		if cfg.NoiseStd > 0 {
+			v += rng.NormFloat64() * cfg.NoiseStd
+		}
+		if cfg.QuantizationW > 0 {
+			v = math.Round(v/cfg.QuantizationW) * cfg.QuantizationW
+		}
+		if !bidirectional && v < 0 {
+			v = 0
+		}
+		out.Values[i] = v
+	}
+	return out, nil
+}
+
+// Net returns the net-meter ground truth: consumption minus generation.
+// Both series must be aligned (same start and step).
+func Net(consumption, generation *timeseries.Series) (*timeseries.Series, error) {
+	net, err := consumption.Sub(generation)
+	if err != nil {
+		return nil, fmt.Errorf("net meter: %w", err)
+	}
+	return net, nil
+}
+
+// Reading is one interval's billing-grade measurement in watt-hours, the
+// unit committed by the privacy-preserving meter of the zkmeter package.
+type Reading struct {
+	// Start is the interval start.
+	Start time.Time
+	// WattHours is the energy consumed during the interval, rounded to the
+	// nearest watt-hour.
+	WattHours int64
+}
+
+// BillingReadings converts a metered power series to integral watt-hour
+// interval readings, the form consumed by billing and by the committed
+// meter.
+func BillingReadings(power *timeseries.Series) []Reading {
+	out := make([]Reading, power.Len())
+	for i, v := range power.Values {
+		wh := v * power.Step.Hours()
+		out[i] = Reading{Start: power.TimeAt(i), WattHours: int64(math.Round(wh))}
+	}
+	return out
+}
+
+// TotalWattHours sums interval readings.
+func TotalWattHours(rs []Reading) int64 {
+	var t int64
+	for _, r := range rs {
+		t += r.WattHours
+	}
+	return t
+}

@@ -1,0 +1,158 @@
+package meter
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"privmem/internal/timeseries"
+)
+
+var start = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func flatSeries(n int, v float64) *timeseries.Series {
+	s := timeseries.MustNew(start, time.Minute, n)
+	for i := range s.Values {
+		s.Values[i] = v
+	}
+	return s
+}
+
+func TestReadPreservesSignal(t *testing.T) {
+	truth := flatSeries(600, 1000)
+	cfg := DefaultConfig(1)
+	got, err := Read(cfg, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 600 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	if math.Abs(got.Mean()-1000) > 2 {
+		t.Errorf("mean = %v, want ~1000", got.Mean())
+	}
+	// Noise is present but bounded.
+	if got.Std() == 0 {
+		t.Error("expected measurement noise")
+	}
+	if got.Std() > 25 {
+		t.Errorf("noise too large: std = %v", got.Std())
+	}
+}
+
+func TestReadResamples(t *testing.T) {
+	truth := flatSeries(120, 500)
+	cfg := Config{Seed: 1, Interval: time.Hour}
+	got, err := Read(cfg, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Step != time.Hour {
+		t.Fatalf("resample: len=%d step=%v", got.Len(), got.Step)
+	}
+	if got.Values[0] != 500 {
+		t.Errorf("noiseless hourly reading = %v", got.Values[0])
+	}
+}
+
+func TestReadQuantizes(t *testing.T) {
+	truth := flatSeries(10, 123.4)
+	cfg := Config{Seed: 1, Interval: time.Minute, QuantizationW: 10}
+	got, err := Read(cfg, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got.Values {
+		if math.Mod(v, 10) != 0 {
+			t.Fatalf("reading %v not quantized to 10 W", v)
+		}
+	}
+}
+
+func TestReadClampsNegative(t *testing.T) {
+	truth := flatSeries(100, 0.5) // noise will push some readings negative
+	cfg := Config{Seed: 3, Interval: time.Minute, NoiseStd: 50}
+	got, err := Read(cfg, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got.Values {
+		if v < 0 {
+			t.Fatalf("consumption meter reported %v W", v)
+		}
+	}
+	net, err := ReadNet(cfg, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNegative bool
+	for _, v := range net.Values {
+		if v < 0 {
+			sawNegative = true
+		}
+	}
+	if !sawNegative {
+		t.Error("net meter with heavy noise never went negative")
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	truth := flatSeries(10, 100)
+	if _, err := Read(Config{Interval: 0}, truth); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero interval error = %v", err)
+	}
+	if _, err := Read(Config{Interval: time.Minute, NoiseStd: -1}, truth); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative noise error = %v", err)
+	}
+	if _, err := Read(Config{Interval: 90 * time.Second}, truth); err == nil {
+		t.Error("non-multiple interval should fail")
+	}
+}
+
+func TestReadDeterminism(t *testing.T) {
+	truth := flatSeries(100, 800)
+	cfg := DefaultConfig(9)
+	a, _ := Read(cfg, truth)
+	b, _ := Read(cfg, truth)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed produced different readings")
+		}
+	}
+}
+
+func TestNet(t *testing.T) {
+	cons := flatSeries(10, 1000)
+	gen := flatSeries(10, 1500)
+	net, err := Net(cons, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Values[0] != -500 {
+		t.Errorf("net = %v, want -500", net.Values[0])
+	}
+	bad := timeseries.MustNew(start, time.Hour, 10)
+	if _, err := Net(cons, bad); err == nil {
+		t.Error("misaligned net should fail")
+	}
+}
+
+func TestBillingReadings(t *testing.T) {
+	s := flatSeries(120, 1000) // 1 kW for 2 h at 1-min resolution
+	rs := BillingReadings(s)
+	if len(rs) != 120 {
+		t.Fatalf("got %d readings", len(rs))
+	}
+	// 1000 W for one minute = 16.67 Wh -> rounds to 17.
+	if rs[0].WattHours != 17 {
+		t.Errorf("interval energy = %d Wh", rs[0].WattHours)
+	}
+	if !rs[1].Start.Equal(start.Add(time.Minute)) {
+		t.Errorf("reading start = %v", rs[1].Start)
+	}
+	// Each 16.67 Wh interval rounds to 17 Wh, so the rounded total is 2040.
+	if total := TotalWattHours(rs); total != 120*17 {
+		t.Errorf("total = %d Wh, want %d", total, 120*17)
+	}
+}

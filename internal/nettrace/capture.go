@@ -1,0 +1,299 @@
+package nettrace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"privmem/internal/timeseries"
+)
+
+// ErrBadConfig indicates invalid simulation parameters.
+var ErrBadConfig = errors.New("nettrace: invalid config")
+
+// FlowRecord is one flow-metadata observation: what an on-path observer of
+// encrypted traffic sees.
+type FlowRecord struct {
+	// Time is the flow start.
+	Time time.Time
+	// Device is the LAN identity (e.g. a MAC-derived name); the observer
+	// sees this but not the device's true class.
+	Device string
+	// Endpoint is the remote host.
+	Endpoint string
+	// BytesUp and BytesDown are the flow's transferred volumes.
+	BytesUp, BytesDown int
+}
+
+// Device is one simulated LAN device.
+type Device struct {
+	// Name is the LAN identity.
+	Name string
+	// Class is the ground-truth category.
+	Class Class
+}
+
+// CompromiseKind is a post-compromise behaviour.
+type CompromiseKind int
+
+// The compromise behaviours of §IV.
+const (
+	// CompromiseScan probes many local/remote hosts with small flows.
+	CompromiseScan CompromiseKind = iota + 1
+	// CompromiseExfil sustains bulk uploads to an attacker endpoint.
+	CompromiseExfil
+	// CompromiseBot emits high-volume DDoS bursts toward a victim.
+	CompromiseBot
+)
+
+// String implements fmt.Stringer.
+func (k CompromiseKind) String() string {
+	switch k {
+	case CompromiseScan:
+		return "scan"
+	case CompromiseExfil:
+		return "exfiltration"
+	case CompromiseBot:
+		return "ddos-bot"
+	default:
+		return fmt.Sprintf("CompromiseKind(%d)", int(k))
+	}
+}
+
+// Compromise schedules a device takeover.
+type Compromise struct {
+	// Device is the victim device name.
+	Device string
+	// At is when the compromise activates.
+	At time.Time
+	// Kind selects the malicious behaviour.
+	Kind CompromiseKind
+}
+
+// Config parameterizes a LAN capture simulation.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Start and Days bound the capture.
+	Start time.Time
+	Days  int
+	// Counts maps each class to the number of device instances (the paper's
+	// "over 40 IoT devices" example home).
+	Counts map[Class]int
+	// Activity optionally couples event traffic to home activity (a binary
+	// series from package home); nil means a default day/night pattern.
+	Activity *timeseries.Series
+	// Compromises schedules device takeovers.
+	Compromises []Compromise
+}
+
+// DefaultCounts returns a ~40-device home.
+func DefaultCounts() map[Class]int {
+	return map[Class]int{
+		ClassCamera:     4,
+		ClassThermostat: 2,
+		ClassSmartPlug:  8,
+		ClassLock:       2,
+		ClassTV:         3,
+		ClassSpeaker:    4,
+		ClassHub:        1,
+		ClassBulb:       12,
+		ClassDoorbell:   1,
+		ClassVacuum:     1,
+	}
+}
+
+// DefaultConfig returns a week-long capture of the default 38-device home.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:   seed,
+		Start:  time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC),
+		Days:   7,
+		Counts: DefaultCounts(),
+	}
+}
+
+// Capture is a simulated LAN trace with ground truth.
+type Capture struct {
+	// Records are flow observations sorted by time.
+	Records []FlowRecord
+	// Devices lists every device with its true class.
+	Devices []Device
+	// Start and End bound the capture.
+	Start, End time.Time
+}
+
+// DeviceClass returns the ground-truth class for a device name.
+func (c *Capture) DeviceClass(name string) (Class, error) {
+	for _, d := range c.Devices {
+		if d.Name == name {
+			return d.Class, nil
+		}
+	}
+	return 0, fmt.Errorf("nettrace: unknown device %q", name)
+}
+
+// activeAt reports home activity at t: the configured series if present,
+// otherwise a default awake-hours pattern.
+func activeAt(activity *timeseries.Series, t time.Time) bool {
+	if activity != nil {
+		return activity.At(t) >= 0.5
+	}
+	h := t.Hour()
+	return h >= 7 && h < 23
+}
+
+// Simulate generates the LAN capture.
+func Simulate(cfg Config) (*Capture, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("%w: days %d", ErrBadConfig, cfg.Days)
+	}
+	if len(cfg.Counts) == 0 {
+		return nil, fmt.Errorf("%w: no devices", ErrBadConfig)
+	}
+	profiles := Profiles()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	cap := &Capture{Start: cfg.Start, End: end}
+
+	// Instantiate devices deterministically: iterate classes in a fixed
+	// order.
+	for _, class := range Classes() {
+		n := cfg.Counts[class]
+		for i := 0; i < n; i++ {
+			cap.Devices = append(cap.Devices, Device{
+				Name:  fmt.Sprintf("%s-%02d", class, i+1),
+				Class: class,
+			})
+		}
+	}
+
+	compromised := map[string]Compromise{}
+	for _, cmp := range cfg.Compromises {
+		if _, err := cap.DeviceClass(cmp.Device); err != nil {
+			return nil, fmt.Errorf("%w: compromise of unknown device %q", ErrBadConfig, cmp.Device)
+		}
+		if cmp.Kind < CompromiseScan || cmp.Kind > CompromiseBot {
+			return nil, fmt.Errorf("%w: compromise kind %d", ErrBadConfig, cmp.Kind)
+		}
+		compromised[cmp.Device] = cmp
+	}
+
+	for _, dev := range cap.Devices {
+		p := profiles[dev.Class]
+		devRng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashString(dev.Name))))
+		simulateDevice(cap, dev, p, cfg, devRng)
+		if cmp, ok := compromised[dev.Name]; ok {
+			simulateCompromise(cap, dev, cmp, end, devRng)
+		}
+	}
+	_ = rng
+
+	sort.Slice(cap.Records, func(i, j int) bool { return cap.Records[i].Time.Before(cap.Records[j].Time) })
+	return cap, nil
+}
+
+// hashString is a small FNV-1a for deterministic per-device seeding.
+func hashString(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// simulateDevice renders one device's benign traffic.
+func simulateDevice(cap *Capture, dev Device, p Profile, cfg Config, rng *rand.Rand) {
+	end := cap.End
+	// Heartbeats.
+	t := cap.Start.Add(time.Duration(rng.Int63n(int64(p.HeartbeatPeriod))))
+	for t.Before(end) {
+		cap.Records = append(cap.Records, FlowRecord{
+			Time:      t,
+			Device:    dev.Name,
+			Endpoint:  p.Endpoints[0],
+			BytesUp:   jitterBytes(rng, p.HeartbeatUp),
+			BytesDown: jitterBytes(rng, p.HeartbeatDown),
+		})
+		period := float64(p.HeartbeatPeriod)
+		if p.HeartbeatJitter > 0 {
+			period *= 1 + p.HeartbeatJitter*(2*rng.Float64()-1)
+		}
+		t = t.Add(time.Duration(period))
+	}
+	// Events, minute-resolution thinning.
+	for tm := cap.Start; tm.Before(end); tm = tm.Add(time.Minute) {
+		rate := p.EventRatePerHour
+		if p.ActivityLinked && !activeAt(cfg.Activity, tm) {
+			rate *= p.IdleEventFraction
+		}
+		if rng.Float64() >= rate/60 {
+			continue
+		}
+		ep := p.Endpoints[rng.Intn(len(p.Endpoints))]
+		cap.Records = append(cap.Records, FlowRecord{
+			Time:      tm.Add(time.Duration(rng.Intn(60)) * time.Second),
+			Device:    dev.Name,
+			Endpoint:  ep,
+			BytesUp:   jitterBytes(rng, p.EventUp),
+			BytesDown: jitterBytes(rng, p.EventDown),
+		})
+	}
+}
+
+// simulateCompromise renders post-compromise traffic on top of the benign
+// behaviour (the device keeps functioning to avoid suspicion).
+func simulateCompromise(cap *Capture, dev Device, cmp Compromise, end time.Time, rng *rand.Rand) {
+	switch cmp.Kind {
+	case CompromiseScan:
+		// Probe a new host every few seconds with tiny flows.
+		for t := cmp.At; t.Before(end); t = t.Add(time.Duration(2+rng.Intn(6)) * time.Second) {
+			cap.Records = append(cap.Records, FlowRecord{
+				Time:      t,
+				Device:    dev.Name,
+				Endpoint:  fmt.Sprintf("10.0.%d.%d:scan", rng.Intn(256), rng.Intn(256)),
+				BytesUp:   60 + rng.Intn(60),
+				BytesDown: rng.Intn(60),
+			})
+		}
+	case CompromiseExfil:
+		// Sustained bulk upload to a single foreign endpoint.
+		for t := cmp.At; t.Before(end); t = t.Add(time.Duration(20+rng.Intn(20)) * time.Second) {
+			cap.Records = append(cap.Records, FlowRecord{
+				Time:      t,
+				Device:    dev.Name,
+				Endpoint:  "drop.attacker.example.net",
+				BytesUp:   400_000 + rng.Intn(400_000),
+				BytesDown: 500 + rng.Intn(500),
+			})
+		}
+	case CompromiseBot:
+		// DDoS waves: minutes-long bursts of maximal upload.
+		t := cmp.At
+		for t.Before(end) {
+			burstEnd := t.Add(time.Duration(2+rng.Intn(5)) * time.Minute)
+			for bt := t; bt.Before(burstEnd) && bt.Before(end); bt = bt.Add(time.Second) {
+				cap.Records = append(cap.Records, FlowRecord{
+					Time:      bt,
+					Device:    dev.Name,
+					Endpoint:  "victim.example.org",
+					BytesUp:   1_000_000 + rng.Intn(250_000),
+					BytesDown: 0,
+				})
+			}
+			t = burstEnd.Add(time.Duration(10+rng.Intn(50)) * time.Minute)
+		}
+	}
+}
+
+// jitterBytes randomizes a byte volume by +/-30%.
+func jitterBytes(rng *rand.Rand, mean int) int {
+	if mean <= 0 {
+		return 0
+	}
+	f := 0.7 + 0.6*rng.Float64()
+	return int(float64(mean) * f)
+}

@@ -1,0 +1,229 @@
+// Package nettrace simulates the local-network traffic of a smart home's
+// IoT devices (§IV of the paper): tens of untrusted devices on an
+// implicitly trusted LAN, each maintaining cloud connections with
+// device-distinctive traffic patterns, optionally tied to occupant activity
+// (cameras upload on motion, locks actuate on departures), and optionally
+// compromised (scanning, exfiltration, DDoS bots).
+//
+// The simulator emits flow-metadata records — timestamp, device, endpoint,
+// direction, bytes — which is exactly what a passive observer of encrypted
+// traffic (or a gateway) can see. The fingerprint attack and the smart
+// gateway defense both consume this metadata.
+package nettrace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Class is a device category with a characteristic traffic behaviour.
+type Class int
+
+// Device classes found in a typical smart home.
+const (
+	ClassCamera Class = iota + 1
+	ClassThermostat
+	ClassSmartPlug
+	ClassLock
+	ClassTV
+	ClassSpeaker
+	ClassHub
+	ClassBulb
+	ClassDoorbell
+	ClassVacuum
+)
+
+// Classes lists every class, for iteration.
+func Classes() []Class {
+	return []Class{
+		ClassCamera, ClassThermostat, ClassSmartPlug, ClassLock, ClassTV,
+		ClassSpeaker, ClassHub, ClassBulb, ClassDoorbell, ClassVacuum,
+	}
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassCamera:
+		return "camera"
+	case ClassThermostat:
+		return "thermostat"
+	case ClassSmartPlug:
+		return "smart-plug"
+	case ClassLock:
+		return "lock"
+	case ClassTV:
+		return "smart-tv"
+	case ClassSpeaker:
+		return "speaker"
+	case ClassHub:
+		return "hub"
+	case ClassBulb:
+		return "bulb"
+	case ClassDoorbell:
+		return "doorbell"
+	case ClassVacuum:
+		return "vacuum"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Profile is the behavioural model of a device class: periodic cloud
+// heartbeats plus event traffic, some of it coupled to occupant activity.
+type Profile struct {
+	// Class identifies the category.
+	Class Class
+	// Endpoints are the cloud hosts the device talks to.
+	Endpoints []string
+	// HeartbeatPeriod is the keep-alive interval; HeartbeatJitter its
+	// relative randomization.
+	HeartbeatPeriod time.Duration
+	HeartbeatJitter float64
+	// HeartbeatUp and HeartbeatDown are bytes per keep-alive.
+	HeartbeatUp, HeartbeatDown int
+	// EventRatePerHour is the base rate of event bursts while triggered
+	// (see ActivityLinked).
+	EventRatePerHour float64
+	// EventUp and EventDown are bytes per event burst (mean; actual bursts
+	// jitter around it).
+	EventUp, EventDown int
+	// ActivityLinked couples event generation to home activity: events fire
+	// at EventRatePerHour only while occupants are active (cameras see
+	// motion, locks actuate at transitions); otherwise events fire at
+	// IdleEventFraction of the rate.
+	ActivityLinked bool
+	// IdleEventFraction scales the event rate while the home is inactive.
+	IdleEventFraction float64
+}
+
+// Profiles returns the behavioural models used in the experiments,
+// calibrated to the magnitudes reported in IoT traffic measurement studies:
+// cameras dominated by upstream video, TVs by downstream streaming,
+// plugs/bulbs by tiny telemetry.
+func Profiles() map[Class]Profile {
+	return map[Class]Profile{
+		ClassCamera: {
+			Class:             ClassCamera,
+			Endpoints:         []string{"cam-cloud.example.com", "cam-stun.example.com"},
+			HeartbeatPeriod:   20 * time.Second,
+			HeartbeatJitter:   0.2,
+			HeartbeatUp:       180,
+			HeartbeatDown:     120,
+			EventRatePerHour:  6,
+			EventUp:           2_500_000, // motion clip upload
+			EventDown:         15_000,
+			ActivityLinked:    true,
+			IdleEventFraction: 0.08, // pets, shadows
+		},
+		ClassThermostat: {
+			Class:            ClassThermostat,
+			Endpoints:        []string{"thermo-cloud.example.com"},
+			HeartbeatPeriod:  60 * time.Second,
+			HeartbeatJitter:  0.1,
+			HeartbeatUp:      400,
+			HeartbeatDown:    300,
+			EventRatePerHour: 0.5,
+			EventUp:          2_000,
+			EventDown:        1_500,
+		},
+		ClassSmartPlug: {
+			Class:            ClassSmartPlug,
+			Endpoints:        []string{"plug-cloud.example.com"},
+			HeartbeatPeriod:  30 * time.Second,
+			HeartbeatJitter:  0.15,
+			HeartbeatUp:      120,
+			HeartbeatDown:    90,
+			EventRatePerHour: 0.2,
+			EventUp:          600,
+			EventDown:        400,
+		},
+		ClassLock: {
+			Class:             ClassLock,
+			Endpoints:         []string{"lock-cloud.example.com"},
+			HeartbeatPeriod:   120 * time.Second,
+			HeartbeatJitter:   0.1,
+			HeartbeatUp:       250,
+			HeartbeatDown:     200,
+			EventRatePerHour:  0.8, // actuations cluster at departures/returns
+			EventUp:           3_000,
+			EventDown:         2_000,
+			ActivityLinked:    true,
+			IdleEventFraction: 0.05,
+		},
+		ClassTV: {
+			Class:             ClassTV,
+			Endpoints:         []string{"tv-cdn.example.com", "tv-ads.example.com"},
+			HeartbeatPeriod:   45 * time.Second,
+			HeartbeatJitter:   0.2,
+			HeartbeatUp:       500,
+			HeartbeatDown:     800,
+			EventRatePerHour:  1.2, // streaming sessions
+			EventUp:           120_000,
+			EventDown:         45_000_000, // video download
+			ActivityLinked:    true,
+			IdleEventFraction: 0.02,
+		},
+		ClassSpeaker: {
+			Class:             ClassSpeaker,
+			Endpoints:         []string{"voice-cloud.example.com", "music-cdn.example.com"},
+			HeartbeatPeriod:   25 * time.Second,
+			HeartbeatJitter:   0.2,
+			HeartbeatUp:       300,
+			HeartbeatDown:     250,
+			EventRatePerHour:  2.5, // voice queries, music
+			EventUp:           90_000,
+			EventDown:         2_000_000,
+			ActivityLinked:    true,
+			IdleEventFraction: 0.03,
+		},
+		ClassHub: {
+			Class:            ClassHub,
+			Endpoints:        []string{"hub-cloud.example.com", "hub-telemetry.example.com"},
+			HeartbeatPeriod:  15 * time.Second,
+			HeartbeatJitter:  0.1,
+			HeartbeatUp:      700,
+			HeartbeatDown:    600,
+			EventRatePerHour: 4, // relayed device state changes
+			EventUp:          5_000,
+			EventDown:        3_000,
+		},
+		ClassBulb: {
+			Class:             ClassBulb,
+			Endpoints:         []string{"bulb-cloud.example.com"},
+			HeartbeatPeriod:   90 * time.Second,
+			HeartbeatJitter:   0.25,
+			HeartbeatUp:       100,
+			HeartbeatDown:     80,
+			EventRatePerHour:  1.5, // on/off commands while home
+			EventUp:           500,
+			EventDown:         350,
+			ActivityLinked:    true,
+			IdleEventFraction: 0.05,
+		},
+		ClassDoorbell: {
+			Class:             ClassDoorbell,
+			Endpoints:         []string{"bell-cloud.example.com"},
+			HeartbeatPeriod:   30 * time.Second,
+			HeartbeatJitter:   0.2,
+			HeartbeatUp:       200,
+			HeartbeatDown:     150,
+			EventRatePerHour:  1, // rings and porch motion
+			EventUp:           1_800_000,
+			EventDown:         10_000,
+			ActivityLinked:    true,
+			IdleEventFraction: 0.25, // street motion regardless of occupancy
+		},
+		ClassVacuum: {
+			Class:            ClassVacuum,
+			Endpoints:        []string{"vac-cloud.example.com"},
+			HeartbeatPeriod:  300 * time.Second,
+			HeartbeatJitter:  0.2,
+			HeartbeatUp:      350,
+			HeartbeatDown:    250,
+			EventRatePerHour: 0.15, // map upload after cleaning runs
+			EventUp:          800_000,
+			EventDown:        20_000,
+		},
+	}
+}

@@ -1,0 +1,116 @@
+package nettrace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"privmem/internal/stats"
+)
+
+// Features summarizes one device's traffic over one analysis window — the
+// view a passive observer extracts from encrypted-flow metadata.
+type Features struct {
+	// Device is the LAN identity.
+	Device string
+	// WindowStart is the window's first instant.
+	WindowStart time.Time
+	// Flows counts flow records in the window.
+	Flows int
+	// BytesUp and BytesDown are total volumes.
+	BytesUp, BytesDown float64
+	// DistinctEndpoints counts unique remote hosts.
+	DistinctEndpoints int
+	// MeanGapS is the mean inter-flow gap in seconds.
+	MeanGapS float64
+	// GapCV is the coefficient of variation of inter-flow gaps: near zero
+	// for metronomic heartbeats, large for bursty event traffic.
+	GapCV float64
+	// MaxFlowUp is the largest single upstream flow.
+	MaxFlowUp float64
+}
+
+// Vector returns the feature vector used by classifiers. Volumes are
+// log-compressed: they span six orders of magnitude across device classes.
+func (f Features) Vector() []float64 {
+	return []float64{
+		math.Log1p(float64(f.Flows)),
+		math.Log1p(f.BytesUp),
+		math.Log1p(f.BytesDown),
+		math.Log1p(float64(f.DistinctEndpoints)),
+		math.Log1p(f.MeanGapS),
+		f.GapCV,
+		math.Log1p(f.MaxFlowUp),
+	}
+}
+
+// FeatureDim is the length of Features.Vector.
+const FeatureDim = 7
+
+// ExtractFeatures buckets a capture into fixed windows per device and
+// summarizes each non-empty window.
+func ExtractFeatures(cap *Capture, window time.Duration) (map[string][]Features, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: window %v", ErrBadConfig, window)
+	}
+	type bucket struct {
+		times     []time.Time
+		up, down  float64
+		endpoints map[string]bool
+		maxUp     float64
+	}
+	buckets := map[string]map[int]*bucket{}
+	for _, r := range cap.Records {
+		w := int(r.Time.Sub(cap.Start) / window)
+		byWin, ok := buckets[r.Device]
+		if !ok {
+			byWin = map[int]*bucket{}
+			buckets[r.Device] = byWin
+		}
+		b, ok := byWin[w]
+		if !ok {
+			b = &bucket{endpoints: map[string]bool{}}
+			byWin[w] = b
+		}
+		b.times = append(b.times, r.Time)
+		b.up += float64(r.BytesUp)
+		b.down += float64(r.BytesDown)
+		b.endpoints[r.Endpoint] = true
+		b.maxUp = math.Max(b.maxUp, float64(r.BytesUp))
+	}
+
+	out := map[string][]Features{}
+	for dev, byWin := range buckets {
+		wins := make([]int, 0, len(byWin))
+		for w := range byWin {
+			wins = append(wins, w)
+		}
+		sort.Ints(wins)
+		for _, w := range wins {
+			b := byWin[w]
+			sort.Slice(b.times, func(i, j int) bool { return b.times[i].Before(b.times[j]) })
+			var gaps []float64
+			for i := 1; i < len(b.times); i++ {
+				gaps = append(gaps, b.times[i].Sub(b.times[i-1]).Seconds())
+			}
+			f := Features{
+				Device:            dev,
+				WindowStart:       cap.Start.Add(time.Duration(w) * window),
+				Flows:             len(b.times),
+				BytesUp:           b.up,
+				BytesDown:         b.down,
+				DistinctEndpoints: len(b.endpoints),
+				MaxFlowUp:         b.maxUp,
+			}
+			if len(gaps) > 0 {
+				f.MeanGapS = stats.Mean(gaps)
+				if f.MeanGapS > 0 {
+					f.GapCV = stats.Std(gaps) / f.MeanGapS
+				}
+			}
+			out[dev] = append(out[dev], f)
+		}
+	}
+	return out, nil
+}

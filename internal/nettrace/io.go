@@ -1,0 +1,225 @@
+package nettrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Capture serialization: a compact binary format so captures can be logged
+// by a gateway, shipped to an offline analysis pipeline (the attacker's lab
+// workflow), and replayed deterministically. The format is
+// length-prefixed little-endian:
+//
+//	magic "PMCAP01\n"
+//	startUnixNano int64, endUnixNano int64
+//	deviceCount uint32, then per device: name string, class uint8
+//	recordCount uint32, then per record:
+//	  timeUnixNano int64, deviceIndex uint32, endpoint string,
+//	  bytesUp uint32, bytesDown uint32
+//
+// Strings are uint16 length + bytes. Device names in records are indexes
+// into the device table, which keeps week-long captures compact.
+
+const captureMagic = "PMCAP01\n"
+
+// ErrBadFormat indicates a corrupt or foreign capture stream.
+var ErrBadFormat = errors.New("nettrace: bad capture format")
+
+// WriteTo serializes the capture.
+func (c *Capture) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(captureMagic)); err != nil {
+		return n, fmt.Errorf("nettrace write: %w", err)
+	}
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		return count(bw.Write(buf[:]))
+	}
+	writeU32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		return count(bw.Write(buf[:]))
+	}
+	writeStr := func(s string) error {
+		if len(s) > 65535 {
+			return fmt.Errorf("%w: string too long (%d)", ErrBadFormat, len(s))
+		}
+		var buf [2]byte
+		binary.LittleEndian.PutUint16(buf[:], uint16(len(s)))
+		if err := count(bw.Write(buf[:])); err != nil {
+			return err
+		}
+		return count(bw.WriteString(s))
+	}
+
+	if err := writeU64(uint64(c.Start.UnixNano())); err != nil {
+		return n, fmt.Errorf("nettrace write: %w", err)
+	}
+	if err := writeU64(uint64(c.End.UnixNano())); err != nil {
+		return n, fmt.Errorf("nettrace write: %w", err)
+	}
+	if err := writeU32(uint32(len(c.Devices))); err != nil {
+		return n, fmt.Errorf("nettrace write: %w", err)
+	}
+	devIndex := make(map[string]uint32, len(c.Devices))
+	for i, d := range c.Devices {
+		if err := writeStr(d.Name); err != nil {
+			return n, fmt.Errorf("nettrace write: %w", err)
+		}
+		if err := count(bw.Write([]byte{byte(d.Class)})); err != nil {
+			return n, fmt.Errorf("nettrace write: %w", err)
+		}
+		devIndex[d.Name] = uint32(i)
+	}
+	if err := writeU32(uint32(len(c.Records))); err != nil {
+		return n, fmt.Errorf("nettrace write: %w", err)
+	}
+	for _, r := range c.Records {
+		di, ok := devIndex[r.Device]
+		if !ok {
+			return n, fmt.Errorf("%w: record for unlisted device %q", ErrBadFormat, r.Device)
+		}
+		if err := writeU64(uint64(r.Time.UnixNano())); err != nil {
+			return n, fmt.Errorf("nettrace write: %w", err)
+		}
+		if err := writeU32(di); err != nil {
+			return n, fmt.Errorf("nettrace write: %w", err)
+		}
+		if err := writeStr(r.Endpoint); err != nil {
+			return n, fmt.Errorf("nettrace write: %w", err)
+		}
+		if err := writeU32(uint32(r.BytesUp)); err != nil {
+			return n, fmt.Errorf("nettrace write: %w", err)
+		}
+		if err := writeU32(uint32(r.BytesDown)); err != nil {
+			return n, fmt.Errorf("nettrace write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("nettrace write: %w", err)
+	}
+	return n, nil
+}
+
+// maxCaptureEntities bounds device and record counts on read, guarding
+// against corrupt headers allocating unbounded memory.
+const maxCaptureEntities = 100_000_000
+
+// ReadCapture deserializes a capture written by WriteTo.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(captureMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nettrace read: %w", err)
+	}
+	if string(magic) != captureMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	readU64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	readU32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	readStr := func() (string, error) {
+		var buf [2]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return "", err
+		}
+		b := make([]byte, binary.LittleEndian.Uint16(buf[:]))
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	startNs, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("nettrace read: %w", err)
+	}
+	endNs, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("nettrace read: %w", err)
+	}
+	cap := &Capture{
+		Start: time.Unix(0, int64(startNs)).UTC(),
+		End:   time.Unix(0, int64(endNs)).UTC(),
+	}
+	nDev, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("nettrace read: %w", err)
+	}
+	if nDev > maxCaptureEntities {
+		return nil, fmt.Errorf("%w: %d devices", ErrBadFormat, nDev)
+	}
+	for i := uint32(0); i < nDev; i++ {
+		name, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("nettrace read: device %d: %w", i, err)
+		}
+		classByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("nettrace read: device %d: %w", i, err)
+		}
+		cap.Devices = append(cap.Devices, Device{Name: name, Class: Class(classByte)})
+	}
+	nRec, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("nettrace read: %w", err)
+	}
+	if nRec > maxCaptureEntities {
+		return nil, fmt.Errorf("%w: %d records", ErrBadFormat, nRec)
+	}
+	cap.Records = make([]FlowRecord, 0, min(int(nRec), 1<<20))
+	for i := uint32(0); i < nRec; i++ {
+		tNs, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("nettrace read: record %d: %w", i, err)
+		}
+		di, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("nettrace read: record %d: %w", i, err)
+		}
+		if di >= nDev {
+			return nil, fmt.Errorf("%w: record %d references device %d of %d", ErrBadFormat, i, di, nDev)
+		}
+		ep, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("nettrace read: record %d: %w", i, err)
+		}
+		up, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("nettrace read: record %d: %w", i, err)
+		}
+		down, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("nettrace read: record %d: %w", i, err)
+		}
+		cap.Records = append(cap.Records, FlowRecord{
+			Time:      time.Unix(0, int64(tNs)).UTC(),
+			Device:    cap.Devices[di].Name,
+			Endpoint:  ep,
+			BytesUp:   int(up),
+			BytesDown: int(down),
+		})
+	}
+	return cap, nil
+}

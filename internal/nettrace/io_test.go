@@ -1,0 +1,119 @@
+package nettrace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.Days = 1
+	orig, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Start.Equal(orig.Start) || !got.End.Equal(orig.End) {
+		t.Errorf("span changed: %v-%v vs %v-%v", got.Start, got.End, orig.Start, orig.End)
+	}
+	if len(got.Devices) != len(orig.Devices) {
+		t.Fatalf("devices %d vs %d", len(got.Devices), len(orig.Devices))
+	}
+	for i := range orig.Devices {
+		if got.Devices[i] != orig.Devices[i] {
+			t.Fatalf("device %d changed: %+v vs %+v", i, got.Devices[i], orig.Devices[i])
+		}
+	}
+	if len(got.Records) != len(orig.Records) {
+		t.Fatalf("records %d vs %d", len(got.Records), len(orig.Records))
+	}
+	for i := range orig.Records {
+		a, b := orig.Records[i], got.Records[i]
+		if !a.Time.Equal(b.Time) || a.Device != b.Device || a.Endpoint != b.Endpoint ||
+			a.BytesUp != b.BytesUp || a.BytesDown != b.BytesDown {
+			t.Fatalf("record %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadCaptureRejectsGarbage(t *testing.T) {
+	if _, err := ReadCapture(strings.NewReader("not a capture at all")); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad magic error = %v", err)
+	}
+	if _, err := ReadCapture(strings.NewReader("")); err == nil {
+		t.Error("empty stream should fail")
+	}
+}
+
+func TestReadCaptureRejectsTruncation(t *testing.T) {
+	cfg := DefaultConfig(12)
+	cfg.Days = 1
+	cfg.Counts = map[Class]int{ClassHub: 1}
+	orig, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Any truncation must produce an error, never a silent partial capture.
+	for _, cut := range []int{10, 30, len(full) / 2, len(full) - 3} {
+		if _, err := ReadCapture(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestReadCaptureRejectsBadDeviceIndex(t *testing.T) {
+	cfg := DefaultConfig(13)
+	cfg.Days = 1
+	cfg.Counts = map[Class]int{ClassHub: 1}
+	orig, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a record's device index (first record starts after magic +
+	// 2*8 span + u32 devcount + (str hub-01 = 2+6) + class byte + u32 reccount).
+	data := buf.Bytes()
+	off := len(captureMagic) + 16 + 4 + 2 + len("hub-01") + 1 + 4 + 8
+	data[off] = 0xFF
+	if _, err := ReadCapture(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad device index error = %v", err)
+	}
+}
+
+func TestWriteToReportsBytes(t *testing.T) {
+	cfg := DefaultConfig(14)
+	cfg.Days = 1
+	cfg.Counts = map[Class]int{ClassBulb: 2}
+	orig, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	// io.Copy-ability sanity: WriteTo satisfies io.WriterTo.
+	var _ io.WriterTo = orig
+}

@@ -1,0 +1,198 @@
+package solarsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"privmem/internal/sun"
+	"privmem/internal/weather"
+)
+
+var simStart = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func southSite() Site {
+	return Site{
+		Name: "test", Lat: 42.4, Lon: -72.5, CapacityW: 5000,
+		TiltDeg: 25, AzimuthDeg: 180, NoiseStd: 0.01,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	gen, err := Generate(southSite(), nil, simStart, 2, time.Minute, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Len() != 2*1440 {
+		t.Fatalf("len = %d", gen.Len())
+	}
+	if gen.Min() < 0 {
+		t.Error("negative generation")
+	}
+	peak := gen.Max()
+	if peak < 2000 || peak > 7000 {
+		t.Errorf("peak = %.0f W for a 5 kW array", peak)
+	}
+	// No generation at local night (~06:00 UTC is ~01:00 local).
+	if v := gen.At(simStart.Add(6 * time.Hour)); v != 0 {
+		t.Errorf("night generation = %v", v)
+	}
+	// Peak should occur near solar noon.
+	dt, err := sun.RiseSet(simStart, 42.4, -72.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noonIdx := int(dt.NoonMin)
+	best := 0
+	for i := 0; i < 1440; i++ {
+		if gen.Values[i] > gen.Values[best] {
+			best = i
+		}
+	}
+	if abs(best-noonIdx) > 45 {
+		t.Errorf("peak at minute %d, solar noon at %d", best, noonIdx)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestGenerateProductionTracksSunriseSunset(t *testing.T) {
+	// At this longitude the solar day straddles UTC midnight, so examine
+	// the production run containing day 0's solar noon within a 2-day
+	// trace rather than trace-wide first/last samples.
+	gen, err := Generate(southSite(), nil, simStart, 2, time.Minute, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := sun.RiseSet(simStart, 42.4, -72.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noon := int(dt.NoonMin)
+	if gen.Values[noon] <= 1 {
+		t.Fatal("no production at solar noon")
+	}
+	first := noon
+	for first > 0 && gen.Values[first-1] > 1 {
+		first--
+	}
+	last := noon
+	for last+1 < gen.Len() && gen.Values[last+1] > 1 {
+		last++
+	}
+	// Production begins within ~30 min of sunrise (diffuse light) and ends
+	// within ~30 min of sunset.
+	if abs(first-int(dt.SunriseMin)) > 30 {
+		t.Errorf("production start %d vs sunrise %.0f", first, dt.SunriseMin)
+	}
+	if abs(last-int(dt.SunsetMin)) > 30 {
+		t.Errorf("production end %d vs sunset %.0f", last, dt.SunsetMin)
+	}
+}
+
+func TestCloudReducesGeneration(t *testing.T) {
+	cfg := weather.DefaultFieldConfig(3)
+	cfg.MeanCloud = 0.7
+	field, err := weather.NewField(cfg, simStart, 24*5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear, err := Generate(southSite(), nil, simStart, 5, time.Minute, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudy, err := Generate(southSite(), field, simStart, 5, time.Minute, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloudy.Energy() >= clear.Energy()*0.8 {
+		t.Errorf("cloud barely reduced energy: %.0f vs %.0f Wh",
+			cloudy.Energy(), clear.Energy())
+	}
+}
+
+func TestEastFacingShiftsPeakEarlier(t *testing.T) {
+	east := southSite()
+	east.AzimuthDeg = 120
+	sGen, err := Generate(southSite(), nil, simStart, 1, time.Minute, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eGen, err := Generate(east, nil, simStart, 1, time.Minute, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakIdx := func(g []float64) int {
+		best := 0
+		for i, v := range g {
+			if v > g[best] {
+				best = i
+			}
+			_ = v
+		}
+		return best
+	}
+	if pe, ps := peakIdx(eGen.Values), peakIdx(sGen.Values); pe >= ps-15 {
+		t.Errorf("east-facing peak %d not earlier than south-facing %d", pe, ps)
+	}
+}
+
+func TestInverterClipping(t *testing.T) {
+	s := southSite()
+	s.InverterLimitW = 2000
+	s.NoiseStd = 0
+	gen, err := Generate(s, nil, simStart, 1, time.Minute, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Max() > 2000 {
+		t.Errorf("max %v exceeds inverter limit", gen.Max())
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := southSite()
+	bad.CapacityW = 0
+	if _, err := Generate(bad, nil, simStart, 1, time.Minute, 1); !errors.Is(err, ErrBadSite) {
+		t.Errorf("capacity error = %v", err)
+	}
+	bad = southSite()
+	bad.Lat = 80
+	if _, err := Generate(bad, nil, simStart, 1, time.Minute, 1); !errors.Is(err, ErrBadSite) {
+		t.Errorf("latitude error = %v", err)
+	}
+	if _, err := Generate(southSite(), nil, simStart, 0, time.Minute, 1); !errors.Is(err, ErrBadSite) {
+		t.Errorf("days error = %v", err)
+	}
+}
+
+func TestFleetProperties(t *testing.T) {
+	sites := Fleet(7)
+	if len(sites) != 10 {
+		t.Fatalf("fleet size = %d", len(sites))
+	}
+	var skewed int
+	for _, s := range sites {
+		if err := s.validate(); err != nil {
+			t.Errorf("fleet site invalid: %v", err)
+		}
+		if s.AzimuthDeg < 160 || s.AzimuthDeg > 200 {
+			skewed++
+		}
+	}
+	if skewed != 3 {
+		t.Errorf("fleet has %d skewed sites, want 3 (Figure 5 outliers)", skewed)
+	}
+	// Deterministic.
+	again := Fleet(7)
+	for i := range sites {
+		if sites[i] != again[i] {
+			t.Fatal("Fleet not deterministic")
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package sun implements the NOAA solar-geometry equations: declination,
+// equation of time, sunrise/sunset/solar-noon times, solar position, and a
+// simple clear-sky irradiance model. It also provides the inverse solver —
+// from observed sunrise/sunset times back to latitude and longitude — which
+// is the core of the SunSpot localization attack [4]: solar generation data
+// indirectly reveals when the sun rises and sets, and those times are
+// governed by the site's coordinates.
+//
+// Conventions: latitude in degrees north (positive), longitude in degrees
+// east (negative for the Americas), times in UTC.
+package sun
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+const (
+	degToRad = math.Pi / 180
+	radToDeg = 180 / math.Pi
+	// zenithSunrise is the solar zenith angle at official sunrise/sunset,
+	// including refraction and the solar disc radius (NOAA: 90.833 deg).
+	zenithSunrise = 90.833
+)
+
+// ErrPolar indicates the sun does not rise or set at the requested latitude
+// and date (polar day or night).
+var ErrPolar = errors.New("sun: no sunrise/sunset at this latitude and date")
+
+// ErrBadInput indicates physically impossible inputs.
+var ErrBadInput = errors.New("sun: invalid input")
+
+// fractionalYear returns the NOAA fractional year angle (radians) for a UTC
+// time.
+func fractionalYear(t time.Time) float64 {
+	doy := float64(t.YearDay())
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	return 2 * math.Pi / 365 * (doy - 1 + (hour-12)/24)
+}
+
+// Declination returns the solar declination in degrees for a UTC time.
+func Declination(t time.Time) float64 {
+	g := fractionalYear(t)
+	d := 0.006918 - 0.399912*math.Cos(g) + 0.070257*math.Sin(g) -
+		0.006758*math.Cos(2*g) + 0.000907*math.Sin(2*g) -
+		0.002697*math.Cos(3*g) + 0.00148*math.Sin(3*g)
+	return d * radToDeg
+}
+
+// EquationOfTime returns the equation of time in minutes for a UTC time:
+// the difference between apparent and mean solar time.
+func EquationOfTime(t time.Time) float64 {
+	g := fractionalYear(t)
+	return 229.18 * (0.000075 + 0.001868*math.Cos(g) - 0.032077*math.Sin(g) -
+		0.014615*math.Cos(2*g) - 0.040849*math.Sin(2*g))
+}
+
+// DayTimes holds the three solar anchors of one day at one location, as
+// minutes after 00:00 UTC.
+type DayTimes struct {
+	// SunriseMin, NoonMin, and SunsetMin are minutes after midnight UTC.
+	SunriseMin, NoonMin, SunsetMin float64
+}
+
+// DayLengthMin returns the day length in minutes.
+func (d DayTimes) DayLengthMin() float64 { return d.SunsetMin - d.SunriseMin }
+
+// RiseSet computes sunrise, solar noon, and sunset (UTC minutes) for the
+// given date and location using the NOAA algorithm.
+func RiseSet(date time.Time, latDeg, lonDeg float64) (DayTimes, error) {
+	var out DayTimes
+	if latDeg < -90 || latDeg > 90 || lonDeg < -180 || lonDeg > 180 {
+		return out, fmt.Errorf("%w: lat=%v lon=%v", ErrBadInput, latDeg, lonDeg)
+	}
+	noonUTC := time.Date(date.Year(), date.Month(), date.Day(), 12, 0, 0, 0, time.UTC)
+	eq := EquationOfTime(noonUTC)
+	decl := Declination(noonUTC) * degToRad
+	lat := latDeg * degToRad
+
+	cosHA := math.Cos(zenithSunrise*degToRad)/(math.Cos(lat)*math.Cos(decl)) -
+		math.Tan(lat)*math.Tan(decl)
+	if cosHA < -1 || cosHA > 1 {
+		return out, fmt.Errorf("%w: lat=%.2f date=%s", ErrPolar, latDeg, date.Format("2006-01-02"))
+	}
+	ha := math.Acos(cosHA) * radToDeg
+
+	out.SunriseMin = 720 - 4*(lonDeg+ha) - eq
+	out.SunsetMin = 720 - 4*(lonDeg-ha) - eq
+	out.NoonMin = 720 - 4*lonDeg - eq
+	return out, nil
+}
+
+// Position returns the solar zenith and azimuth angles (degrees) at a UTC
+// instant and location. Azimuth is measured clockwise from north.
+func Position(t time.Time, latDeg, lonDeg float64) (zenithDeg, azimuthDeg float64) {
+	eq := EquationOfTime(t)
+	decl := Declination(t) * degToRad
+	lat := latDeg * degToRad
+
+	// True solar time in minutes.
+	offset := eq + 4*lonDeg
+	tst := float64(t.Hour())*60 + float64(t.Minute()) + float64(t.Second())/60 + offset
+	haDeg := tst/4 - 180
+	ha := haDeg * degToRad
+
+	cosZen := math.Sin(lat)*math.Sin(decl) + math.Cos(lat)*math.Cos(decl)*math.Cos(ha)
+	cosZen = math.Max(-1, math.Min(1, cosZen))
+	zen := math.Acos(cosZen)
+
+	// Azimuth from north, clockwise.
+	sinZen := math.Sin(zen)
+	var az float64
+	if sinZen > 1e-9 {
+		cosAz := (math.Sin(decl) - math.Sin(lat)*cosZen) / (math.Cos(lat) * sinZen)
+		cosAz = math.Max(-1, math.Min(1, cosAz))
+		az = math.Acos(cosAz) * radToDeg
+		if haDeg > 0 {
+			az = 360 - az
+		}
+	}
+	return zen * radToDeg, az
+}
+
+// ClearSkyGHI returns a simple clear-sky global horizontal irradiance in
+// W/m^2 at a UTC instant and location: extraterrestrial irradiance scaled by
+// an air-mass-dependent atmospheric transmittance (the Meinel model). It is
+// zero when the sun is below the horizon.
+func ClearSkyGHI(t time.Time, latDeg, lonDeg float64) float64 {
+	zen, _ := Position(t, latDeg, lonDeg)
+	if zen >= 90 {
+		return 0
+	}
+	cosZen := math.Cos(zen * degToRad)
+	// Kasten-Young air mass with the Meinel clear-sky transmittance:
+	// GHI = 1353 * 0.7^(AM^0.678) * cos(zenith).
+	airMass := 1 / (cosZen + 0.50572*math.Pow(96.07995-zen, -1.6364))
+	return 1353 * math.Pow(0.7, math.Pow(airMass, 0.678)) * cosZen
+}
+
+// InverseRiseSet recovers latitude and longitude from observed sunrise and
+// sunset times (UTC minutes after midnight) on a given date — the SunSpot
+// inversion. Longitude follows from solar noon (the midpoint) and the
+// equation of time; latitude is solved from the day length.
+//
+// Within a few days of an equinox the day length is symmetric in latitude,
+// so two latitudes can match; this function returns the northern candidate.
+// Use InverseRiseSetNear with a hint to disambiguate.
+func InverseRiseSet(date time.Time, sunriseMin, sunsetMin float64) (latDeg, lonDeg float64, err error) {
+	return InverseRiseSetNear(date, sunriseMin, sunsetMin, math.NaN())
+}
+
+// InverseRiseSetNear is InverseRiseSet with a latitude hint: when the day
+// length admits more than one latitude (near the equinoxes), the root
+// closest to latHintDeg is returned. A NaN hint selects the northernmost
+// root.
+func InverseRiseSetNear(date time.Time, sunriseMin, sunsetMin, latHintDeg float64) (latDeg, lonDeg float64, err error) {
+	if sunsetMin <= sunriseMin {
+		return 0, 0, fmt.Errorf("%w: sunset %.1f before sunrise %.1f", ErrBadInput, sunsetMin, sunriseMin)
+	}
+	noonUTC := time.Date(date.Year(), date.Month(), date.Day(), 12, 0, 0, 0, time.UTC)
+	eq := EquationOfTime(noonUTC)
+	decl := Declination(noonUTC) * degToRad
+
+	noon := (sunriseMin + sunsetMin) / 2
+	lonDeg = (720 - eq - noon) / 4
+
+	// Day length determines the half-day hour angle (4 minutes per degree);
+	// latitude then follows from the sunrise equation.
+	haDeg := (sunsetMin - sunriseMin) / 2 / 4
+	target := math.Cos(haDeg * degToRad)
+	f := func(latRad float64) float64 {
+		return math.Cos(zenithSunrise*degToRad)/(math.Cos(latRad)*math.Cos(decl)) -
+			math.Tan(latRad)*math.Tan(decl) - target
+	}
+
+	// Scan for every bracketing interval and refine each root by bisection.
+	// Near the equinoxes f may not change sign at all; then the latitude of
+	// minimum inconsistency is the best estimate (callers such as SunSpot
+	// average estimates over many days, which suppresses the noise).
+	const latLimit = 66.0
+	const scanStep = 0.5
+	var roots []float64
+	bestScan, bestAbs := 0.0, math.Inf(1)
+	prevLat := -latLimit
+	prevF := f(prevLat * degToRad)
+	for latScan := -latLimit + scanStep; latScan <= latLimit+1e-9; latScan += scanStep {
+		cur := f(latScan * degToRad)
+		if a := math.Abs(cur); a < bestAbs {
+			bestAbs, bestScan = a, latScan
+		}
+		if prevF*cur <= 0 {
+			roots = append(roots, bisectLat(f, prevLat*degToRad, latScan*degToRad))
+		}
+		prevLat, prevF = latScan, cur
+	}
+	if len(roots) == 0 {
+		return bestScan, lonDeg, nil
+	}
+	chosen := roots[len(roots)-1] // northernmost by scan order
+	if !math.IsNaN(latHintDeg) {
+		for _, r := range roots {
+			if math.Abs(r-latHintDeg) < math.Abs(chosen-latHintDeg) {
+				chosen = r
+			}
+		}
+	}
+	return chosen, lonDeg, nil
+}
+
+// bisectLat refines a root of f (in radians) bracketed by [lo, hi] and
+// returns it in degrees.
+func bisectLat(f func(float64) float64, lo, hi float64) float64 {
+	flo := f(lo)
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if fm == 0 {
+			return mid * radToDeg
+		}
+		if flo*fm < 0 {
+			hi = mid
+		} else {
+			lo = mid
+			flo = fm
+		}
+	}
+	return (lo + hi) / 2 * radToDeg
+}
+
+// PlateOutput returns the relative clear-sky output (W/m^2-scale) of a
+// tilted flat-plate collector at a UTC instant and location. GHI is split
+// into a diffuse fraction, which the panel sees from dawn to dusk weighted
+// by its sky-view factor, and a beam component scaled by the panel's
+// incidence geometry. Both the PV simulator and the solar attacks
+// (SunSpot's forward model, SunDance's generation model) build on this.
+func PlateOutput(t time.Time, latDeg, lonDeg, tiltDeg, azimuthDeg, diffuseFrac float64) float64 {
+	zen, az := Position(t, latDeg, lonDeg)
+	if zen >= 90 {
+		return 0
+	}
+	ghi := ClearSkyGHI(t, latDeg, lonDeg)
+	if ghi <= 0 {
+		return 0
+	}
+	dhi := diffuseFrac * ghi
+	beamH := ghi - dhi
+	cosZen := math.Max(0.03, math.Cos(zen*degToRad))
+	cosInc := math.Cos(zen*degToRad)*math.Cos(tiltDeg*degToRad) +
+		math.Sin(zen*degToRad)*math.Sin(tiltDeg*degToRad)*
+			math.Cos((az-azimuthDeg)*degToRad)
+	beamFactor := math.Min(3, math.Max(0, cosInc)/cosZen)
+	skyView := (1 + math.Cos(tiltDeg*degToRad)) / 2
+	return dhi*skyView + beamH*beamFactor
+}

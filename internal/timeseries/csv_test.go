@@ -1,0 +1,65 @@
+package timeseries
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s, _ := FromValues(testStart, 5*time.Minute, []float64{1.5, -2, 0, 1e6, 0.000125})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Start.Equal(s.Start) || got.Step != s.Step || got.Len() != s.Len() {
+		t.Fatalf("shape changed: %v", got)
+	}
+	for i := range s.Values {
+		if got.Values[i] != s.Values[i] {
+			t.Errorf("value %d: %v != %v", i, got.Values[i], s.Values[i])
+		}
+	}
+}
+
+func TestCSVSingleRow(t *testing.T) {
+	in := "timestamp,value\n2017-06-01T00:00:00Z,42\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Values[0] != 42 {
+		t.Errorf("got %v", got.Values)
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "bad header", in: "a,b\n"},
+		{name: "empty body", in: "timestamp,value\n"},
+		{name: "bad time", in: "timestamp,value\nnot-a-time,1\n"},
+		{name: "bad value", in: "timestamp,value\n2017-06-01T00:00:00Z,xyz\n"},
+		{name: "wrong columns", in: "timestamp,value\n2017-06-01T00:00:00Z,1,2\n"},
+		{name: "non-uniform", in: "timestamp,value\n2017-06-01T00:00:00Z,1\n2017-06-01T00:01:00Z,2\n2017-06-01T00:03:00Z,3\n"},
+		{name: "non-increasing", in: "timestamp,value\n2017-06-01T00:01:00Z,1\n2017-06-01T00:00:00Z,2\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("malformed input accepted")
+			}
+		})
+	}
+	if _, err := ReadCSV(strings.NewReader("timestamp,value\n")); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty body error = %v", err)
+	}
+}

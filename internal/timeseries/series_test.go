@@ -1,0 +1,385 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var testStart = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		step    time.Duration
+		n       int
+		wantErr error
+	}{
+		{name: "valid", step: time.Minute, n: 10},
+		{name: "zero length", step: time.Minute, n: 0},
+		{name: "zero step", step: 0, n: 10, wantErr: ErrBadStep},
+		{name: "negative step", step: -time.Second, n: 10, wantErr: ErrBadStep},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, err := New(testStart, tt.step, tt.n)
+			if tt.wantErr != nil {
+				if !errors.Is(err, tt.wantErr) {
+					t.Fatalf("New() error = %v, want %v", err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("New() unexpected error: %v", err)
+			}
+			if s.Len() != tt.n {
+				t.Errorf("Len() = %d, want %d", s.Len(), tt.n)
+			}
+		})
+	}
+
+	if _, err := New(testStart, time.Minute, -1); err == nil {
+		t.Error("New() with negative length should fail")
+	}
+}
+
+func TestTimeIndexRoundTrip(t *testing.T) {
+	s := MustNew(testStart, 5*time.Minute, 100)
+	for _, i := range []int{0, 1, 50, 99} {
+		if got := s.IndexOf(s.TimeAt(i)); got != i {
+			t.Errorf("IndexOf(TimeAt(%d)) = %d", i, got)
+		}
+	}
+	if got := s.End(); !got.Equal(testStart.Add(500 * time.Minute)) {
+		t.Errorf("End() = %v", got)
+	}
+}
+
+func TestAtOutOfRange(t *testing.T) {
+	s, err := FromValues(testStart, time.Minute, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(testStart.Add(-time.Hour)); got != 0 {
+		t.Errorf("At(before) = %v, want 0", got)
+	}
+	if got := s.At(testStart.Add(time.Hour)); got != 0 {
+		t.Errorf("At(after) = %v, want 0", got)
+	}
+	if got := s.At(testStart.Add(time.Minute)); got != 2 {
+		t.Errorf("At(+1m) = %v, want 2", got)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, _ := FromValues(testStart, time.Minute, []float64{1, 2, 3})
+	b, _ := FromValues(testStart, time.Minute, []float64{10, 20, 30, 40})
+
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{11, 22, 33}
+	for i, v := range want {
+		if sum.Values[i] != v {
+			t.Errorf("Add()[%d] = %v, want %v", i, sum.Values[i], v)
+		}
+	}
+
+	diff, err := b.Sub(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Len() != 3 || diff.Values[2] != 27 {
+		t.Errorf("Sub() = %v", diff.Values)
+	}
+
+	c := MustNew(testStart, time.Hour, 3)
+	if _, err := a.Add(c); !errors.Is(err, ErrStepMismatch) {
+		t.Errorf("Add() step mismatch error = %v", err)
+	}
+	d := MustNew(testStart.Add(time.Minute), time.Minute, 3)
+	if _, err := a.Add(d); err == nil {
+		t.Error("Add() with different starts should fail")
+	}
+}
+
+func TestAddInPlaceOffset(t *testing.T) {
+	base := MustNew(testStart, time.Minute, 10)
+	patch, _ := FromValues(testStart.Add(3*time.Minute), time.Minute, []float64{5, 5, 5})
+	if err := base.AddInPlace(patch); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range base.Values {
+		want := 0.0
+		if i >= 3 && i <= 5 {
+			want = 5
+		}
+		if v != want {
+			t.Errorf("Values[%d] = %v, want %v", i, v, want)
+		}
+	}
+
+	// Patch partially before the base must not panic and must clip.
+	early, _ := FromValues(testStart.Add(-2*time.Minute), time.Minute, []float64{7, 7, 7})
+	if err := base.AddInPlace(early); err != nil {
+		t.Fatal(err)
+	}
+	if base.Values[0] != 7 {
+		t.Errorf("Values[0] = %v, want 7", base.Values[0])
+	}
+}
+
+func TestStatsAndEnergy(t *testing.T) {
+	s, _ := FromValues(testStart, 30*time.Minute, []float64{100, 300, 200, 0})
+	if got := s.Mean(); got != 150 {
+		t.Errorf("Mean() = %v", got)
+	}
+	if got := s.Max(); got != 300 {
+		t.Errorf("Max() = %v", got)
+	}
+	if got := s.Min(); got != 0 {
+		t.Errorf("Min() = %v", got)
+	}
+	// 600 W-slots * 0.5h = 300 Wh
+	if got := s.Energy(); math.Abs(got-300) > 1e-9 {
+		t.Errorf("Energy() = %v, want 300", got)
+	}
+	if got := s.Std(); math.Abs(got-math.Sqrt(12500)) > 1e-9 {
+		t.Errorf("Std() = %v", got)
+	}
+
+	empty := MustNew(testStart, time.Minute, 0)
+	if empty.Mean() != 0 || empty.Max() != 0 || empty.Min() != 0 || empty.Std() != 0 {
+		t.Error("empty series stats should be zero")
+	}
+}
+
+func TestResampleCoarsen(t *testing.T) {
+	s, _ := FromValues(testStart, time.Minute, []float64{1, 3, 5, 7, 2, 4})
+	r, err := s.Resample(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 3}
+	for i, v := range want {
+		if r.Values[i] != v {
+			t.Errorf("Resample()[%d] = %v, want %v", i, r.Values[i], v)
+		}
+	}
+	if r.Step != 2*time.Minute {
+		t.Errorf("Step = %v", r.Step)
+	}
+}
+
+func TestResampleRefine(t *testing.T) {
+	s, _ := FromValues(testStart, 2*time.Minute, []float64{4, 8})
+	r, err := s.Resample(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 4, 8, 8}
+	for i, v := range want {
+		if r.Values[i] != v {
+			t.Errorf("Resample()[%d] = %v, want %v", i, r.Values[i], v)
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	s := MustNew(testStart, 3*time.Minute, 10)
+	if _, err := s.Resample(2 * time.Minute); !errors.Is(err, ErrStepMismatch) {
+		t.Errorf("refine non-divisor error = %v", err)
+	}
+	if _, err := s.Resample(7 * time.Minute); !errors.Is(err, ErrStepMismatch) {
+		t.Errorf("coarsen non-multiple error = %v", err)
+	}
+	if _, err := s.Resample(0); !errors.Is(err, ErrBadStep) {
+		t.Errorf("zero step error = %v", err)
+	}
+}
+
+func TestResampleRoundTripPreservesEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := MustNew(testStart, time.Minute, 240)
+	for i := range s.Values {
+		s.Values[i] = rng.Float64() * 1000
+	}
+	coarse, err := s.Resample(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coarse.Energy()-s.Energy()) > 1e-6 {
+		t.Errorf("energy changed: %v -> %v", s.Energy(), coarse.Energy())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s, _ := FromValues(testStart, time.Minute, []float64{1, 4, 2, 2})
+	d := s.Diff()
+	want := []float64{3, -2, 0}
+	if d.Len() != 3 {
+		t.Fatalf("Diff() len = %d", d.Len())
+	}
+	for i, v := range want {
+		if d.Values[i] != v {
+			t.Errorf("Diff()[%d] = %v, want %v", i, d.Values[i], v)
+		}
+	}
+	if got := MustNew(testStart, time.Minute, 0).Diff(); got.Len() != 0 {
+		t.Errorf("Diff() of empty = %d samples", got.Len())
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	s, _ := FromValues(testStart, time.Minute, []float64{0, 0, 9, 0, 0})
+	m := s.MovingAverage(3)
+	want := []float64{0, 3, 3, 3, 0}
+	for i, v := range want {
+		if m.Values[i] != v {
+			t.Errorf("MovingAverage()[%d] = %v, want %v", i, m.Values[i], v)
+		}
+	}
+	// Even width rounds up to odd; width < 1 clamps.
+	if got := s.MovingAverage(2); got.Values[1] != 3 {
+		t.Errorf("even width not rounded up: %v", got.Values)
+	}
+	if got := s.MovingAverage(0); got.Values[2] != 9 {
+		t.Errorf("width 0 should be identity: %v", got.Values)
+	}
+}
+
+func TestSliceClamping(t *testing.T) {
+	s, _ := FromValues(testStart, time.Minute, []float64{1, 2, 3, 4})
+	if got := s.Slice(-5, 2); got.Len() != 2 || got.Values[0] != 1 {
+		t.Errorf("Slice(-5,2) = %v", got.Values)
+	}
+	if got := s.Slice(2, 100); got.Len() != 2 || got.Values[0] != 3 {
+		t.Errorf("Slice(2,100) = %v", got.Values)
+	}
+	if got := s.Slice(3, 1); got.Len() != 0 {
+		t.Errorf("Slice(3,1) = %v", got.Values)
+	}
+	w := s.Window(testStart.Add(time.Minute), testStart.Add(3*time.Minute))
+	if w.Len() != 2 || w.Values[0] != 2 {
+		t.Errorf("Window() = %v", w.Values)
+	}
+	if !w.Start.Equal(testStart.Add(time.Minute)) {
+		t.Errorf("Window().Start = %v", w.Start)
+	}
+}
+
+func TestMapScaleClampBinary(t *testing.T) {
+	s, _ := FromValues(testStart, time.Minute, []float64{-1, 0.5, 2})
+	b := s.Binary(0.5)
+	want := []float64{0, 1, 1}
+	for i, v := range want {
+		if b.Values[i] != v {
+			t.Errorf("Binary()[%d] = %v", i, b.Values[i])
+		}
+	}
+	if s.Values[0] != -1 {
+		t.Error("Binary() must not mutate receiver")
+	}
+	s.Clamp(0, 1)
+	if s.Values[0] != 0 || s.Values[2] != 1 {
+		t.Errorf("Clamp() = %v", s.Values)
+	}
+	s.Scale(10)
+	if s.Values[1] != 5 {
+		t.Errorf("Scale() = %v", s.Values)
+	}
+	s.Map(func(x float64) float64 { return x + 1 })
+	if s.Values[0] != 1 {
+		t.Errorf("Map() = %v", s.Values)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s, _ := FromValues(testStart, time.Minute, []float64{1, 2})
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Error("Clone() shares backing array")
+	}
+}
+
+// Property: Add is commutative and Sub(x, x) is zero.
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := sanitize(raw)
+		a, _ := FromValues(testStart, time.Minute, vals)
+		b, _ := FromValues(testStart, time.Minute, reversed(vals))
+		ab, err1 := a.Add(b)
+		ba, err2 := b.Add(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range ab.Values {
+			if ab.Values[i] != ba.Values[i] {
+				return false
+			}
+		}
+		z, err := a.Sub(a)
+		if err != nil {
+			return false
+		}
+		for _, v := range z.Values {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coarsening resample preserves total energy up to truncation of a
+// partial trailing window.
+func TestQuickResampleEnergy(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		vals := sanitize(raw)
+		k := int(kRaw%8) + 1
+		// Pad to a multiple of k so no samples are truncated.
+		for len(vals)%k != 0 {
+			vals = append(vals, 0)
+		}
+		s, _ := FromValues(testStart, time.Minute, vals)
+		r, err := s.Resample(time.Duration(k) * time.Minute)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r.Energy()-s.Energy()) < 1e-6*(1+math.Abs(s.Energy()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw)+1)
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		// Keep magnitudes sane so float error bounds hold.
+		out = append(out, math.Mod(v, 1e6))
+	}
+	if len(out) == 0 {
+		out = append(out, 1)
+	}
+	return out
+}
+
+func reversed(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[len(xs)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package weather
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkCloudSeriesMonth measures sampling one location's hourly cloud
+// cover for 30 days (48 modes x 720 steps).
+func BenchmarkCloudSeriesMonth(b *testing.B) {
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	f, err := NewField(DefaultFieldConfig(1), start, 30*24, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.CloudSeries(42.3, -72.5)
+	}
+}

@@ -1,0 +1,337 @@
+// Package privmem is the public API of the Private Memoirs of IoT Devices
+// reproduction: simulators, privacy attacks, and defenses for IoT (energy
+// and network) data, following Chen, Bovornkeeratiroj, Irwin, and Shenoy,
+// "Private Memoirs of IoT Devices: Safeguarding User Privacy in the IoT
+// Era" (ICDCS 2018).
+//
+// The package exposes three scenario worlds plus the experiment registry:
+//
+//   - Energy: a simulated home behind a smart meter, with the NIOM
+//     occupancy attack, the PowerPlay/FHMM NILM attacks, and the CHPr,
+//     battery, and differential-privacy defenses.
+//   - Solar: rooftop PV sites under a regional weather field, with the
+//     SunSpot and Weatherman localization attacks and SunDance net-meter
+//     disaggregation.
+//   - Network: a ~40-device IoT LAN, with the traffic-fingerprinting
+//     attack and the smart-gateway quarantine and shaping defenses.
+//
+// Every quantity is deterministic given the seeds, so results are exactly
+// reproducible. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the paper-versus-measured record.
+package privmem
+
+import (
+	"time"
+
+	"privmem/internal/attack/fingerprint"
+	"privmem/internal/attack/fitprint"
+	"privmem/internal/attack/nilm"
+	"privmem/internal/attack/niom"
+	"privmem/internal/attack/sundance"
+	"privmem/internal/attack/sunspot"
+	"privmem/internal/attack/weatherman"
+	"privmem/internal/core"
+	"privmem/internal/defense/battery"
+	"privmem/internal/defense/chpr"
+	"privmem/internal/defense/dprivacy"
+	"privmem/internal/defense/gateway"
+	"privmem/internal/defense/knob"
+	"privmem/internal/defense/localiot"
+	"privmem/internal/defense/zkmeter"
+	"privmem/internal/experiments"
+	"privmem/internal/fitsim"
+	"privmem/internal/home"
+	"privmem/internal/loads"
+	"privmem/internal/meter"
+	"privmem/internal/metrics"
+	"privmem/internal/nettrace"
+	"privmem/internal/solarsim"
+	"privmem/internal/timeseries"
+	"privmem/internal/weather"
+)
+
+// Series is the uniform time-series type used throughout the library.
+type Series = timeseries.Series
+
+// Core scenario types (see internal/core).
+type (
+	// EnergyWorld is a simulated home behind a smart meter.
+	EnergyWorld = core.EnergyWorld
+	// Defense selects a meter-data defense in DefenseMatrix.
+	Defense = core.Defense
+	// MatrixRow is one defense's outcome against the occupancy attack.
+	MatrixRow = core.MatrixRow
+)
+
+// Defense constants for EnergyWorld.DefenseMatrix.
+const (
+	DefenseNone     = core.DefenseNone
+	DefenseCHPr     = core.DefenseCHPr
+	DefenseNILL     = core.DefenseNILL
+	DefenseStepping = core.DefenseStepping
+	DefenseDP       = core.DefenseDP
+)
+
+// Home-simulation types.
+type (
+	// HomeConfig parameterizes the household simulator.
+	HomeConfig = home.Config
+	// HomeTrace is the simulator's ground-truth output.
+	HomeTrace = home.Trace
+	// LoadModel is a parameterized appliance model.
+	LoadModel = loads.Model
+)
+
+// Attack types.
+type (
+	// OccupancyEvaluation scores an occupancy detector.
+	OccupancyEvaluation = niom.Evaluation
+	// DeviceError is one appliance's disaggregation score.
+	DeviceError = nilm.DeviceError
+	// SolarSite describes one rooftop PV installation.
+	SolarSite = solarsim.Site
+	// SunSpotEstimate is a SunSpot localization result.
+	SunSpotEstimate = sunspot.Estimate
+	// WeathermanEstimate is a Weatherman localization result.
+	WeathermanEstimate = weatherman.Estimate
+	// SunDanceResult is a net-meter disaggregation result.
+	SunDanceResult = sundance.Result
+	// WeatherStation is a public weather station.
+	WeatherStation = weather.Station
+	// LANCapture is a simulated IoT LAN trace.
+	LANCapture = nettrace.Capture
+	// DeviceIdentification is a fingerprinting result.
+	DeviceIdentification = fingerprint.Identification
+	// FitnessWorld is a simulated fitness-tracker population (§II-C).
+	FitnessWorld = fitsim.World
+	// FitnessActivity is one recorded workout.
+	FitnessActivity = fitsim.Activity
+	// HeatmapHotspot is one revealed cell of an aggregate activity map.
+	HeatmapHotspot = fitprint.Hotspot
+)
+
+// Defense types.
+type (
+	// CHPrTank parameterizes the water heater.
+	CHPrTank = chpr.Tank
+	// CHPrResult is a water-heater simulation result.
+	CHPrResult = chpr.Result
+	// HomeBattery models a stationary battery.
+	HomeBattery = battery.Battery
+	// BatteryResult is a battery-defense run.
+	BatteryResult = battery.Result
+	// DPMechanism is a Laplace perturbation mechanism.
+	DPMechanism = dprivacy.Mechanism
+	// CommittedMeterGroup holds Pedersen group parameters.
+	CommittedMeterGroup = zkmeter.Group
+	// CommittedMeter is the privacy-preserving meter.
+	CommittedMeter = zkmeter.Meter
+	// GatewayAlert reports a quarantined device.
+	GatewayAlert = gateway.Alert
+	// ShapeReport quantifies traffic-shaping cost.
+	ShapeReport = gateway.ShapeReport
+	// KnobPoint is one evaluated privacy-knob setting.
+	KnobPoint = knob.Point
+	// PipelineResult compares cloud vs local analytics pipelines.
+	PipelineResult = localiot.PipelineResult
+	// ExperimentReport is a reproduced figure or table.
+	ExperimentReport = experiments.Report
+)
+
+// NewEnergyWorld simulates a default two-occupant home for the given number
+// of days behind a 1-minute smart meter.
+func NewEnergyWorld(seed int64, days int) (*EnergyWorld, error) {
+	return core.NewEnergyWorld(seed, days)
+}
+
+// NewEnergyWorldFromConfig simulates a home from an explicit configuration.
+func NewEnergyWorldFromConfig(cfg HomeConfig) (*EnergyWorld, error) {
+	return core.NewEnergyWorldFromConfig(cfg)
+}
+
+// DefaultHomeConfig returns the representative two-occupant home
+// configuration.
+func DefaultHomeConfig(seed int64) HomeConfig { return home.DefaultConfig(seed) }
+
+// RandomHomeConfig derives a diverse home configuration for population
+// studies.
+func RandomHomeConfig(baseSeed int64, index int) HomeConfig {
+	return home.RandomConfig(baseSeed, index)
+}
+
+// AllDefenses lists every defense for DefenseMatrix, in presentation order.
+func AllDefenses() []Defense { return core.AllDefenses() }
+
+// SolarWorld is a regional solar scenario: a weather field, a public
+// station grid, and PV sites whose telemetry the attacks consume.
+type SolarWorld struct {
+	// Field is the regional cloud-cover field.
+	Field *weather.Field
+	// Stations is the public weather dataset.
+	Stations []WeatherStation
+	// Sites are the PV installations.
+	Sites []SolarSite
+
+	start time.Time
+	days  int
+	seed  int64
+}
+
+// NewSolarWorld builds the 10-site fleet of Figure 5 under a fresh weather
+// field spanning the given days (which should be 180+ for SunSpot's
+// seasonal fit to work well).
+func NewSolarWorld(seed int64, days int) (*SolarWorld, error) {
+	start := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	field, err := weather.NewField(weather.DefaultFieldConfig(seed), start, days*24, 41)
+	if err != nil {
+		return nil, err
+	}
+	stations, err := weather.StationGrid(field, 35, 47, -89, -71, 0.25)
+	if err != nil {
+		return nil, err
+	}
+	return &SolarWorld{
+		Field:    field,
+		Stations: stations,
+		Sites:    solarsim.Fleet(seed + 7),
+		start:    start,
+		days:     days,
+		seed:     seed,
+	}, nil
+}
+
+// Generation simulates a site's telemetry at the given resolution.
+func (w *SolarWorld) Generation(site SolarSite, step time.Duration) (*Series, error) {
+	return solarsim.Generate(site, w.Field, w.start, w.days, step, w.seed)
+}
+
+// LocalizeSunSpot runs the SunSpot attack on a generation trace.
+func (w *SolarWorld) LocalizeSunSpot(gen *Series) (SunSpotEstimate, error) {
+	return sunspot.Localize(gen, sunspot.DefaultConfig())
+}
+
+// LocalizeWeatherman runs the Weatherman attack on a generation trace
+// against the world's public stations.
+func (w *SolarWorld) LocalizeWeatherman(gen *Series) (WeathermanEstimate, error) {
+	return weatherman.Localize(gen, w.Stations, weatherman.DefaultConfig())
+}
+
+// DisaggregateNetMeter runs SunDance on a net-meter trace against the
+// world's public stations.
+func (w *SolarWorld) DisaggregateNetMeter(net *Series) (*SunDanceResult, error) {
+	return sundance.Disaggregate(net, w.Stations, sundance.DefaultConfig())
+}
+
+// DistanceKm returns the great-circle distance between two coordinates.
+func DistanceKm(lat1, lon1, lat2, lon2 float64) float64 {
+	return metrics.HaversineKm(lat1, lon1, lat2, lon2)
+}
+
+// NetworkWorld is an IoT-LAN scenario: a victim capture plus the attacker's
+// lab capture for classifier training.
+type NetworkWorld struct {
+	// Victim is the observed home LAN.
+	Victim *LANCapture
+	// Lab is the attacker's training capture (one device per class).
+	Lab *LANCapture
+}
+
+// NewNetworkWorld simulates a default ~40-device LAN for the given days,
+// optionally coupling event traffic to a home's activity series.
+func NewNetworkWorld(seed int64, days int, activity *Series) (*NetworkWorld, error) {
+	vcfg := nettrace.DefaultConfig(seed)
+	vcfg.Days = days
+	vcfg.Activity = activity
+	victim, err := nettrace.Simulate(vcfg)
+	if err != nil {
+		return nil, err
+	}
+	labCfg := nettrace.DefaultConfig(seed + 1)
+	labCfg.Days = 2
+	labCfg.Counts = map[nettrace.Class]int{}
+	for _, c := range nettrace.Classes() {
+		labCfg.Counts[c] = 1
+	}
+	lab, err := nettrace.Simulate(labCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &NetworkWorld{Victim: victim, Lab: lab}, nil
+}
+
+// FingerprintDevices trains on the lab capture and identifies every victim
+// device from flow metadata.
+func (w *NetworkWorld) FingerprintDevices() (*DeviceIdentification, error) {
+	clf, err := fingerprint.Train(w.Lab, time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	return fingerprint.Identify(clf, w.Victim)
+}
+
+// InferOccupancyFromTraffic predicts occupancy from the victim LAN's
+// metadata alone.
+func (w *NetworkWorld) InferOccupancyFromTraffic() (*Series, error) {
+	return fingerprint.InferOccupancy(w.Victim, fingerprint.DefaultOccupancyConfig())
+}
+
+// ShapeTraffic applies the gateway shaping defense to the victim capture
+// and returns the shaped view with its cost report.
+func (w *NetworkWorld) ShapeTraffic(uniform bool) (*LANCapture, *ShapeReport, error) {
+	cfg := gateway.DefaultShapeConfig()
+	cfg.Uniform = uniform
+	return gateway.Shape(w.Victim, cfg)
+}
+
+// EvaluateOccupancy scores any binary occupancy prediction against ground
+// truth over waking hours (8am-11pm).
+func EvaluateOccupancy(truth, predicted *Series) (OccupancyEvaluation, error) {
+	return niom.EvaluateDaytime(truth, predicted, 8, 23)
+}
+
+// EvaluateOccupancyAllDay scores a prediction over all hours.
+func EvaluateOccupancyAllDay(truth, predicted *Series) (OccupancyEvaluation, error) {
+	return niom.Evaluate(truth, predicted)
+}
+
+// RunExperiment reproduces one of the paper's figures or tables by id
+// ("f1", "f2", "f5", "f6", "t1".."t10"); quick shrinks the workload.
+func RunExperiment(id string, quick bool) (*ExperimentReport, error) {
+	return experiments.Run(id, experiments.Options{Quick: quick})
+}
+
+// ExperimentIDs lists every reproducible artifact in presentation order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ReadMeter samples a ground-truth power series through a default 1-minute
+// smart meter.
+func ReadMeter(seed int64, truth *Series) (*Series, error) {
+	return meter.Read(meter.DefaultConfig(seed), truth)
+}
+
+// NewFitnessWorld simulates the default 40-user fitness-tracker town of
+// §II-C, optionally adding the Strava-scenario remote facility.
+func NewFitnessWorld(seed int64, withFacility bool) (*FitnessWorld, error) {
+	w, err := fitsim.Simulate(fitsim.DefaultConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	if withFacility {
+		if _, err := w.AddFacility(fitsim.DefaultFacility(seed)); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// InferHomeLocation runs the §II-C endpoint-clustering attack on a user's
+// activities.
+func InferHomeLocation(acts []FitnessActivity) (lat, lon float64, err error) {
+	return fitprint.InferHome(acts)
+}
+
+// ActivityHeatmap builds the aggregate public heatmap with optional
+// k-anonymity suppression (minUsers 0 disables it).
+func ActivityHeatmap(w *FitnessWorld, cellKm float64, minUsers int) ([]HeatmapHotspot, error) {
+	return fitprint.Heatmap(w, cellKm, minUsers)
+}

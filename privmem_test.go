@@ -1,0 +1,177 @@
+package privmem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEnergyWorldEndToEnd(t *testing.T) {
+	w, err := NewEnergyWorld(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end := w.Span()
+	if got := end.Sub(start); got != 5*24*time.Hour {
+		t.Errorf("span = %v", got)
+	}
+	ev, pred, err := w.OccupancyAttack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Len() != w.Metered.Len() {
+		t.Error("prediction misaligned")
+	}
+	if ev.MCC <= 0 {
+		t.Errorf("occupancy attack MCC = %.3f, want positive signal", ev.MCC)
+	}
+	errs, inferred, err := w.ApplianceAttack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 5 || len(inferred) != 5 {
+		t.Errorf("appliance attack covered %d devices", len(errs))
+	}
+}
+
+func TestDefenseMatrixOrdering(t *testing.T) {
+	w, err := NewEnergyWorld(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := w.DefenseMatrix(AllDefenses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byDef := map[Defense]MatrixRow{}
+	for _, r := range rows {
+		byDef[r.Defense] = r
+	}
+	base := byDef[DefenseNone].MCC
+	if base < 0.2 {
+		t.Fatalf("undefended MCC %.3f too weak", base)
+	}
+	// CHPr and DP must strongly reduce the attack; batteries at least some.
+	if byDef[DefenseCHPr].MCC > base/3 {
+		t.Errorf("CHPr MCC %.3f vs base %.3f", byDef[DefenseCHPr].MCC, base)
+	}
+	if byDef[DefenseDP].MCC > base/2 {
+		t.Errorf("DP MCC %.3f vs base %.3f", byDef[DefenseDP].MCC, base)
+	}
+	if byDef[DefenseNILL].MCC >= base {
+		t.Errorf("NILL did not reduce MCC: %.3f vs %.3f", byDef[DefenseNILL].MCC, base)
+	}
+}
+
+func TestSolarWorldEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long solar world")
+	}
+	w, err := NewSolarWorld(3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := w.Sites[4] // a south-facing site
+	gen, err := w.Generation(site, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := w.LocalizeSunSpot(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DistanceKm(site.Lat, site.Lon, ss.Lat, ss.Lon); d > 500 {
+		t.Errorf("sunspot error %.0f km on a south-facing site", d)
+	}
+	hourly, err := gen.Resample(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := w.LocalizeWeatherman(hourly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DistanceKm(site.Lat, site.Lon, wm.Lat, wm.Lon); d > 25 {
+		t.Errorf("weatherman error %.1f km", d)
+	}
+}
+
+func TestNetworkWorldEndToEnd(t *testing.T) {
+	hw, err := NewEnergyWorld(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetworkWorld(4, 4, hw.Trace.Active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := nw.FingerprintDevices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Accuracy < 0.6 {
+		t.Errorf("device id accuracy = %.3f", id.Accuracy)
+	}
+	occ, err := nw.InferOccupancyFromTraffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := EvaluateOccupancy(hw.Trace.Occupancy, occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MCC < 0.4 {
+		t.Errorf("traffic occupancy MCC = %.3f", ev.MCC)
+	}
+	_, report, err := nw.ShapeTraffic(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MeanDelay <= 0 {
+		t.Error("shaping reported no delay")
+	}
+}
+
+func TestRunExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(ids))
+	}
+	// Spot-check a cheap one end to end.
+	rep, err := RunExperiment("f6", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := rep.Metric("mcc_original")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defended, err := rep.Metric("mcc_chpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defended > orig/3 {
+		t.Errorf("f6 shape broken: %.3f -> %.3f", orig, defended)
+	}
+	if _, err := RunExperiment("nope", true); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRandomHomeConfigAndMeter(t *testing.T) {
+	cfg := RandomHomeConfig(5, 3)
+	cfg.Days = 2
+	w, err := NewEnergyWorldFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMeter(5, w.Trace.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != w.Trace.Aggregate.Len() {
+		t.Error("meter length mismatch")
+	}
+}
