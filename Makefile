@@ -1,0 +1,30 @@
+# PR gate and developer shortcuts. `make check` is what every PR must pass:
+# vet, build, and the full test suite under the race detector (the RunAll
+# concurrency tests only count as coverage when raced).
+
+GO ?= go
+
+.PHONY: check vet build test race short bench figures
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+figures:
+	$(GO) run ./cmd/figures

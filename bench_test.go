@@ -7,6 +7,9 @@ package privmem
 // for the full-scale artifacts.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"privmem/internal/experiments"
@@ -88,9 +91,11 @@ func BenchmarkTableDifferentialPrivacy(b *testing.B) {
 }
 
 // BenchmarkTableZKBilling regenerates the §III-C committed-meter billing
-// flow. verify_ok and tampering_caught must both be 1.
+// flow — the per-iteration time is dominated by committing every hourly
+// reading, so ns/op is the commit+prove+verify cost. verify_ok and
+// tampering_caught must both be 1.
 func BenchmarkTableZKBilling(b *testing.B) {
-	benchExperiment(b, "t6", "verify_ok", "tampering_caught", "commit_ms_per_reading")
+	benchExperiment(b, "t6", "verify_ok", "tampering_caught", "commitments")
 }
 
 // BenchmarkTableKnobFrontier regenerates the §III-E privacy-knob frontier.
@@ -124,4 +129,27 @@ func BenchmarkTableFitnessLocation(b *testing.B) {
 // BenchmarkTableStravaHeatmap regenerates the Strava heatmap incident [6].
 func BenchmarkTableStravaHeatmap(b *testing.B) {
 	benchExperiment(b, "t12", "revealed_km_k_0")
+}
+
+// BenchmarkRunAll regenerates the presentation suite at quick scale through
+// the concurrent runner, comparing the sequential baseline (workers=1)
+// against a worker per CPU. Reports are identical in both configurations;
+// only wall-clock differs.
+func BenchmarkRunAll(b *testing.B) {
+	ids := experiments.IDs()
+	opts := experiments.Options{Quick: true, Seed: 42}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reports, err := experiments.RunAll(context.Background(), ids, opts,
+					experiments.RunAllOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(reports) != len(ids) {
+					b.Fatalf("got %d reports", len(reports))
+				}
+			}
+		})
+	}
 }

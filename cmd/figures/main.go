@@ -1,5 +1,7 @@
 // Command figures regenerates every figure and table of the paper's
-// evaluation (see DESIGN.md §3 for the index).
+// evaluation (see DESIGN.md §3 for the index). Experiments run concurrently
+// on a worker pool with per-experiment derived seeds, so output is
+// bit-identical for a given -seed regardless of -workers.
 //
 // Usage:
 //
@@ -7,13 +9,16 @@
 //	figures -id f2,f6       # run selected experiments
 //	figures -quick          # reduced workloads
 //	figures -seed 7         # alternate seed
+//	figures -workers 4      # worker-pool size (default: NumCPU)
 //	figures -csv f1         # dump Figure 1's full 1-minute series as CSV
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,11 +34,15 @@ func run() int {
 		idsFlag = flag.String("id", "", "comma-separated experiment ids (default: all)")
 		quick   = flag.Bool("quick", false, "reduced workloads")
 		seed    = flag.Int64("seed", 42, "base random seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "concurrent experiments")
 		csvFlag = flag.String("csv", "", "dump an experiment's raw series as CSV (supported: f1)")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		*workers = runtime.NumCPU()
+	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, SeedSet: true, Quick: *quick}
 
 	if *csvFlag != "" {
 		if *csvFlag != "f1" {
@@ -54,19 +63,28 @@ func run() int {
 	ids := experiments.IDs()
 	if *idsFlag != "" {
 		ids = strings.Split(*idsFlag, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
+	start := time.Now()
+	reports, err := experiments.RunAll(context.Background(), ids, opts,
+		experiments.RunAllOptions{Workers: *workers})
 	exitCode := 0
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		start := time.Now()
-		rep, err := experiments.Run(id, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
-			exitCode = 1
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		exitCode = 1
+	}
+	done := 0
+	for _, rep := range reports {
+		if rep == nil {
 			continue
 		}
+		done++
 		fmt.Print(rep.Render())
-		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
+	fmt.Printf("(%d/%d experiments in %s, %d workers)\n",
+		done, len(ids), time.Since(start).Round(time.Millisecond), *workers)
 	return exitCode
 }

@@ -9,13 +9,15 @@
 //	memoirctl defend     -seed 42 -days 7        # defense matrix vs NIOM
 //	memoirctl localize   -seed 42 -days 365      # SunSpot/Weatherman fleet
 //	memoirctl fingerprint -seed 42 -days 7       # LAN fingerprinting + shaping
-//	memoirctl figures    [-quick] [-id f2]       # regenerate paper artifacts
+//	memoirctl figures    [-quick] [-id f2] [-workers 4]  # regenerate paper artifacts
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -38,6 +40,7 @@ func run(args []string) int {
 	days := fs.Int("days", 7, "simulated days")
 	quick := fs.Bool("quick", false, "reduced workloads (figures)")
 	ids := fs.String("id", "", "experiment ids (figures)")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent experiments (figures)")
 	if err := fs.Parse(rest); err != nil {
 		return 2
 	}
@@ -55,7 +58,7 @@ func run(args []string) int {
 	case "fingerprint":
 		err = cmdFingerprint(*seed, *days)
 	case "figures":
-		err = cmdFigures(*seed, *quick, *ids)
+		err = cmdFigures(*seed, *quick, *ids, *workers)
 	default:
 		usage()
 		return 2
@@ -192,19 +195,23 @@ func cmdFingerprint(seed int64, days int) error {
 	return nil
 }
 
-func cmdFigures(seed int64, quick bool, idsFlag string) error {
-	opts := experiments.Options{Seed: seed, Quick: quick}
+func cmdFigures(seed int64, quick bool, idsFlag string, workers int) error {
+	opts := experiments.Options{Seed: seed, SeedSet: true, Quick: quick}
 	ids := experiments.IDs()
 	if idsFlag != "" {
 		ids = strings.Split(idsFlag, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
-	for _, id := range ids {
-		rep, err := experiments.Run(strings.TrimSpace(id), opts)
-		if err != nil {
-			return err
+	reports, err := experiments.RunAll(context.Background(), ids, opts,
+		experiments.RunAllOptions{Workers: workers})
+	for _, rep := range reports {
+		if rep == nil {
+			continue
 		}
 		fmt.Print(rep.Render())
 		fmt.Println()
 	}
-	return nil
+	return err
 }

@@ -13,6 +13,8 @@ func TestRunArgHandling(t *testing.T) {
 		{name: "bad flag", args: []string{"simulate", "-bogus"}, want: 2},
 		{name: "simulate tiny", args: []string{"simulate", "-days", "1", "-seed", "3"}, want: 0},
 		{name: "figures quick one", args: []string{"figures", "-quick", "-id", "f6"}, want: 0},
+		{name: "figures quick parallel", args: []string{"figures", "-quick", "-id", "f1,f6", "-workers", "2"}, want: 0},
+		{name: "figures unknown id", args: []string{"figures", "-quick", "-id", "zz"}, want: 1},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -170,7 +170,12 @@ func (w *EnergyWorld) DefenseMatrix(defenses []Defense) ([]MatrixRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: defense matrix: %w", err)
 			}
-			if trace, err = meter.Read(meter.DefaultConfig(w.seed+1), defended); err != nil {
+			// Re-meter at the world's configured step (as NewEnergyWorldFromConfig
+			// does): the 1-minute default would silently resample high-rate worlds
+			// for this row only.
+			mc := meter.DefaultConfig(w.seed + 1)
+			mc.Interval = w.Config.Step
+			if trace, err = meter.Read(mc, defended); err != nil {
 				return nil, fmt.Errorf("core: defense matrix: %w", err)
 			}
 			cost = fmt.Sprintf("%.1f kWh heater energy", masked.EnergyWh/1000)

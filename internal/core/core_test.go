@@ -85,6 +85,31 @@ func TestDefenseMatrix(t *testing.T) {
 	}
 }
 
+// TestDefenseMatrixCarriesStep is the regression test for the CHPr branch
+// re-metering at the 1-minute default instead of the world's configured
+// step: a 90-second step is not a multiple of one minute, so the stale
+// config made this matrix fail outright (and silently resampled any other
+// non-default step).
+func TestDefenseMatrixCarriesStep(t *testing.T) {
+	cfg := home.DefaultConfig(6)
+	cfg.Days = 2
+	cfg.Step = 90 * time.Second
+	w, err := NewEnergyWorldFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := w.DefenseMatrix([]Defense{DefenseNone, DefenseCHPr})
+	if err != nil {
+		t.Fatalf("DefenseMatrix on a 90s-step world: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Defense != DefenseCHPr || rows[1].CostNote == "-" {
+		t.Errorf("CHPr row not populated: %+v", rows[1])
+	}
+}
+
 func TestHourlyProfile(t *testing.T) {
 	w, err := NewEnergyWorld(5, 2)
 	if err != nil {

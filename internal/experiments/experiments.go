@@ -6,8 +6,10 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 )
@@ -17,18 +19,42 @@ var ErrUnknown = errors.New("experiments: unknown experiment")
 
 // Options control an experiment run.
 type Options struct {
-	// Seed drives all randomness (default 42).
+	// Seed drives all randomness. For backward compatibility a zero Seed
+	// with SeedSet false selects the default seed 42; set SeedSet to run
+	// with a literal zero seed.
 	Seed int64
+	// SeedSet marks Seed as explicit, disabling the zero-means-42 default.
+	// RunAll sets it on every derived per-experiment seed so a derivation
+	// that lands on zero is honored rather than remapped.
+	SeedSet bool
 	// Quick shrinks workloads (fewer days/homes/sites) for benchmarks and
 	// smoke tests; headline shapes still hold, with more variance.
 	Quick bool
 }
 
 func (o Options) seed() int64 {
-	if o.Seed == 0 {
+	if !o.SeedSet && o.Seed == 0 {
 		return 42
 	}
 	return o.Seed
+}
+
+// ForExperiment returns a copy of o with the per-experiment seed for id:
+// the FNV-1a hash of the effective base seed and the experiment id. The
+// derivation is a pure function of (seed, id) — independent of worker
+// count, scheduling, and completion order — so concurrent suite runs are
+// bit-identical to sequential ones, while distinct experiments get
+// decorrelated random streams. The derived Options set SeedSet, so a hash
+// that lands on zero is used verbatim.
+func (o Options) ForExperiment(id string) Options {
+	h := fnv.New64a()
+	var base [8]byte
+	binary.LittleEndian.PutUint64(base[:], uint64(o.seed()))
+	h.Write(base[:])
+	h.Write([]byte(id))
+	o.Seed = int64(h.Sum64())
+	o.SeedSet = true
+	return o
 }
 
 // Report is an experiment's result: a table plus headline metrics.
@@ -75,7 +101,11 @@ func (r *Report) Render() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
 		}
 		b.WriteByte('\n')
 	}
@@ -133,6 +163,12 @@ func Registry() map[string]Runner {
 // IDs returns the experiment ids in presentation order.
 func IDs() []string {
 	return []string{"f1", "f2", "f5", "f6", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12"}
+}
+
+// AllIDs returns every registry id — the paper artifacts followed by the
+// ablations — in presentation order.
+func AllIDs() []string {
+	return append(IDs(), AblationIDs()...)
 }
 
 // Run executes one experiment by id.

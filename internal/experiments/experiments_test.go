@@ -52,6 +52,23 @@ func TestRenderAndMetric(t *testing.T) {
 	}
 }
 
+// TestRenderRaggedRows is the regression test for writeRow indexing
+// widths[i] unguarded: a row wider than the header row used to panic.
+func TestRenderRaggedRows(t *testing.T) {
+	rep := &Report{
+		ID:      "x2",
+		Title:   "ragged",
+		Headers: []string{"a"},
+		Rows:    [][]string{{"1", "overflow", "more"}, {"2"}},
+	}
+	out := rep.Render()
+	for _, want := range []string{"overflow", "more"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render dropped overflow cell %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestQuickShapes runs the cheap experiments at quick scale and asserts the
 // headline shapes the paper reports. The expensive ones (f2, f5, t3, t9)
 // are covered by the root benchmarks and integration tests.

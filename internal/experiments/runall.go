@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunAllOptions configure a concurrent suite run.
+type RunAllOptions struct {
+	// Workers bounds how many experiments generate concurrently. Values
+	// below 1 select runtime.NumCPU().
+	Workers int
+}
+
+// RunAll generates the given experiments on a worker pool and returns their
+// reports in ids order, so output follows the caller's presentation order,
+// never completion order.
+//
+// Each experiment runs with opts.ForExperiment(id), making every report a
+// pure function of (opts, id): results are bit-identical regardless of
+// worker count or scheduling. Experiments share no mutable state — each
+// generator builds its own world from its derived seed — which is what
+// makes the fan-out race-free.
+//
+// A failure does not abort the suite: every runnable experiment still runs,
+// its failed peers leave nil slots in the returned reports, and the error is
+// the errors.Join of the per-experiment failures. Cancelling ctx stops
+// scheduling further experiments (in-flight ones finish); unscheduled ids
+// report the context error.
+func RunAll(ctx context.Context, ids []string, opts Options, ro RunAllOptions) ([]*Report, error) {
+	workers := ro.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	reports := make([]*Report, len(ids))
+	errs := make([]error, len(ids))
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rep, err := Run(ids[i], opts.ForExperiment(ids[i]))
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", ids[i], err)
+					continue
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+	for i := 0; i < len(ids); i++ {
+		if err := ctx.Err(); err != nil {
+			for ; i < len(ids); i++ {
+				errs[i] = fmt.Errorf("%s: %w", ids[i], err)
+			}
+			break
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			errs[i] = fmt.Errorf("%s: %w", ids[i], ctx.Err())
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return reports, errors.Join(errs...)
+}

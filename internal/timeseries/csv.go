@@ -33,7 +33,8 @@ func (s *Series) WriteCSV(w io.Writer) error {
 }
 
 // ReadCSV parses a series written by WriteCSV. The timestamps must be
-// uniformly spaced; the step is inferred from the first two rows.
+// uniformly spaced; the step is inferred from the first two rows. A
+// single-row file has no inferable step and falls back to one minute.
 func ReadCSV(r io.Reader) (*Series, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 2

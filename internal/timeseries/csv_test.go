@@ -28,6 +28,34 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCSVRoundTripNonMinuteSteps checks the inferred step survives a
+// round-trip at resolutions other than the 1-minute default, including one
+// (90s) that is not a whole number of minutes.
+func TestCSVRoundTripNonMinuteSteps(t *testing.T) {
+	for _, step := range []time.Duration{time.Second, 10 * time.Second, 90 * time.Second, time.Hour, 6 * time.Hour} {
+		s, err := FromValues(testStart, step, []float64{3, 1, 4, 1, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("step %v: %v", step, err)
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("step %v: %v", step, err)
+		}
+		if got.Step != step {
+			t.Errorf("step %v round-tripped as %v", step, got.Step)
+		}
+		if !got.Start.Equal(s.Start) || got.Len() != s.Len() {
+			t.Errorf("step %v: shape changed: %v", step, got)
+		}
+	}
+}
+
+// TestCSVSingleRow covers the single-row fallback: with one row there is no
+// step to infer, and ReadCSV documents a 1-minute default.
 func TestCSVSingleRow(t *testing.T) {
 	in := "timestamp,value\n2017-06-01T00:00:00Z,42\n"
 	got, err := ReadCSV(strings.NewReader(in))
@@ -36,6 +64,9 @@ func TestCSVSingleRow(t *testing.T) {
 	}
 	if got.Len() != 1 || got.Values[0] != 42 {
 		t.Errorf("got %v", got.Values)
+	}
+	if got.Step != time.Minute {
+		t.Errorf("single-row fallback step = %v, want the documented 1-minute default", got.Step)
 	}
 }
 
