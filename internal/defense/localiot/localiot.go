@@ -100,6 +100,12 @@ func DailyTotalsLeak(tr *home.Trace, metered *timeseries.Series) (float64, error
 	if metered.Len() == 0 {
 		return 0, fmt.Errorf("%w: empty trace", ErrBadInput)
 	}
+	// Resample keeps a partial tail bucket, so a sub-day trace would silently
+	// produce one fractional "daily" total; a day-level leak needs at least
+	// one full day of data.
+	if time.Duration(metered.Len())*metered.Step < 24*time.Hour {
+		return 0, fmt.Errorf("%w: trace shorter than one day", ErrBadInput)
+	}
 	daily, err := metered.Resample(24 * time.Hour)
 	if err != nil {
 		return 0, fmt.Errorf("daily totals leak: %w", err)

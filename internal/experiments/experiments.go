@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -55,6 +56,15 @@ func (o Options) ForExperiment(id string) Options {
 	o.Seed = int64(h.Sum64())
 	o.SeedSet = true
 	return o
+}
+
+// CacheKey returns the canonical cache key for running experiment id with
+// these options. Two Options values that produce identical reports produce
+// identical keys: the key is built from the *effective* seed (after the
+// zero-means-42 default), so {Seed: 0} and {Seed: 42, SeedSet: true} — which
+// run the same simulation — share a cache entry.
+func (o Options) CacheKey(id string) string {
+	return fmt.Sprintf("%s|seed=%d|quick=%t", id, o.seed(), o.Quick)
 }
 
 // Report is an experiment's result: a table plus headline metrics.
@@ -178,6 +188,36 @@ func Run(id string, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknown, id)
 	}
 	return r(opts)
+}
+
+// RunContext executes one experiment by id, honoring ctx cancellation and
+// deadlines. Generators are CPU-bound and not internally preemptible, so on
+// early cancellation the generation goroutine finishes in the background and
+// its result is discarded; the call itself returns ctx.Err() promptly.
+// An unknown id is reported before any work starts.
+func RunContext(ctx context.Context, id string, opts Options) (*Report, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type result struct {
+		rep *Report
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rep, err := r(opts)
+		ch <- result{rep, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.rep, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // f formats a float compactly for table cells.

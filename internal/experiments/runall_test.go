@@ -136,3 +136,46 @@ func TestRunAllEmpty(t *testing.T) {
 		t.Errorf("RunAll(nil ids) = %v, %v", reports, err)
 	}
 }
+
+func TestCacheKeyCanonicalizesSeed(t *testing.T) {
+	// {Seed: 0} defaults to 42, so it must share a key with an explicit 42.
+	a := Options{}.CacheKey("f1")
+	b := Options{Seed: 42, SeedSet: true}.CacheKey("f1")
+	if a != b {
+		t.Errorf("default-seed key %q != explicit-42 key %q", a, b)
+	}
+	distinct := map[string]string{
+		"literal zero seed": Options{SeedSet: true}.CacheKey("f1"),
+		"other seed":        Options{Seed: 7}.CacheKey("f1"),
+		"quick":             Options{Quick: true}.CacheKey("f1"),
+		"other id":          Options{}.CacheKey("t1"),
+	}
+	for name, k := range distinct {
+		if k == a {
+			t.Errorf("%s collides with the base key %q", name, a)
+		}
+	}
+}
+
+func TestRunContext(t *testing.T) {
+	if _, err := RunContext(context.Background(), "zz", Options{}); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown id error = %v", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(cancelled, "f1", Options{Quick: true}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled error = %v", err)
+	}
+	rep, err := RunContext(context.Background(), "t6", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same options must reproduce the same report as the plain Run path.
+	plain, err := Run("t6", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Render() != plain.Render() {
+		t.Error("RunContext output differs from Run for identical options")
+	}
+}

@@ -105,11 +105,22 @@ type Reading struct {
 // BillingReadings converts a metered power series to integral watt-hour
 // interval readings, the form consumed by billing and by the committed
 // meter.
+//
+// Each interval is rounded against the cumulative energy rather than in
+// isolation: reading i is round(cumulative_i) − billed_so_far, so rounding
+// residue carries into the next interval instead of accumulating. The sum
+// of the readings therefore always equals the series' true energy rounded
+// once — within 0.5 Wh of Series.Energy() over any trace length — where
+// independent per-interval rounding drifts by up to 0.5 Wh per interval.
 func BillingReadings(power *timeseries.Series) []Reading {
 	out := make([]Reading, power.Len())
+	var trueWh float64 // exact cumulative energy through interval i
+	var billedWh int64 // cumulative energy billed so far
 	for i, v := range power.Values {
-		wh := v * power.Step.Hours()
-		out[i] = Reading{Start: power.TimeAt(i), WattHours: int64(math.Round(wh))}
+		trueWh += v * power.Step.Hours()
+		wh := int64(math.Round(trueWh)) - billedWh
+		billedWh += wh
+		out[i] = Reading{Start: power.TimeAt(i), WattHours: wh}
 	}
 	return out
 }

@@ -144,15 +144,48 @@ func TestBillingReadings(t *testing.T) {
 	if len(rs) != 120 {
 		t.Fatalf("got %d readings", len(rs))
 	}
-	// 1000 W for one minute = 16.67 Wh -> rounds to 17.
+	// 1000 W for one minute = 16.67 Wh -> first reading rounds up to 17;
+	// the carried -0.33 Wh residue pulls the second down to 16.
 	if rs[0].WattHours != 17 {
 		t.Errorf("interval energy = %d Wh", rs[0].WattHours)
+	}
+	if rs[1].WattHours != 16 {
+		t.Errorf("second interval = %d Wh, want 16 (residue carried)", rs[1].WattHours)
 	}
 	if !rs[1].Start.Equal(start.Add(time.Minute)) {
 		t.Errorf("reading start = %v", rs[1].Start)
 	}
-	// Each 16.67 Wh interval rounds to 17 Wh, so the rounded total is 2040.
-	if total := TotalWattHours(rs); total != 120*17 {
-		t.Errorf("total = %d Wh, want %d", total, 120*17)
+	// The drift-compensated total is the true energy (2000 Wh), not the
+	// per-interval rounded 120*17 = 2040 Wh the old code billed.
+	if total := TotalWattHours(rs); total != 2000 {
+		t.Errorf("total = %d Wh, want 2000", total)
+	}
+}
+
+// Regression: independent per-interval rounding drifted TotalWattHours from
+// the series' true energy by up to 0.5 Wh per interval — 5 kWh over a year
+// of minutely 16.67 Wh intervals. The compensated accumulator must stay
+// within 0.5 Wh of Series.Energy() no matter how long the trace is.
+func TestBillingReadingsNoDriftOverLongTrace(t *testing.T) {
+	const days = 365
+	s := timeseries.MustNew(start, time.Minute, days*24*60)
+	for i := range s.Values {
+		// Vary power so many distinct rounding residues occur.
+		s.Values[i] = 400 + 700*math.Abs(math.Sin(float64(i)/97))
+	}
+	rs := BillingReadings(s)
+	got := float64(TotalWattHours(rs))
+	want := s.Energy()
+	if math.Abs(got-want) > 0.5 {
+		t.Fatalf("billed %0.f Wh vs true %.1f Wh: drift %.1f Wh exceeds 0.5",
+			got, want, got-want)
+	}
+	// Every interval still bills within 1 Wh of its own true energy: the
+	// compensation shuffles rounding residue, it does not rewrite history.
+	for i, r := range rs {
+		trueWh := s.Values[i] * s.Step.Hours()
+		if d := math.Abs(float64(r.WattHours) - trueWh); d > 1 {
+			t.Fatalf("interval %d billed %d Wh vs true %.2f Wh", i, r.WattHours, trueWh)
+		}
 	}
 }

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The acceptance bar for the serving layer: a cache hit must be at least an
+// order of magnitude cheaper than the miss path, which runs a real (quick)
+// simulation. Compare:
+//
+//	go test ./internal/serve -bench 'BenchmarkReportCache' -run '^$'
+func benchGet(b *testing.B, h http.Handler, path string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("GET %s = %d %s", path, rec.Code, rec.Body.String())
+	}
+}
+
+func BenchmarkReportCacheHit(b *testing.B) {
+	s := New(Config{}) // real DefaultRun pipeline
+	h := s.Handler()
+	benchGet(b, h, "/v1/report/t6?quick=true&seed=1") // prime the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, h, "/v1/report/t6?quick=true&seed=1")
+	}
+}
+
+func BenchmarkReportCacheMiss(b *testing.B) {
+	s := New(Config{})
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh seed per iteration guarantees a cache miss and a full
+		// quick-scale simulation.
+		benchGet(b, h, fmt.Sprintf("/v1/report/t6?quick=true&seed=%d", 1000+i))
+	}
+}

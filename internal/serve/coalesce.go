@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// call is one in-flight generation that followers can wait on.
+type call struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// flightGroup coalesces duplicate in-flight work (the singleflight
+// pattern): the first caller for a key becomes the leader and runs fn;
+// concurrent callers for the same key wait for the leader's result instead
+// of re-running the simulation. The zero value is ready to use.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// do runs fn once per concurrent key and returns its result. shared is true
+// when this caller attached to another caller's in-flight run. A follower
+// whose ctx expires gives up waiting and returns ctx.Err(); the leader's run
+// is unaffected. If the leader itself fails with its own context error,
+// followers receive that error too — duplicate requests share one outcome
+// per flight, by design.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Entry, error)) (entry *Entry, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.entry, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.entry, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.entry, false, c.err
+}

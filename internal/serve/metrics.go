@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics holds the service's observability counters and gauges. All fields
+// are atomics, updated lock-free on the request path and read by /metrics.
+type Metrics struct {
+	// Requests counts HTTP requests across all routes.
+	Requests atomic.Int64
+	// ReportRequests counts GET /v1/report/{id} requests.
+	ReportRequests atomic.Int64
+	// SuiteRequests counts POST /v1/suite requests.
+	SuiteRequests atomic.Int64
+	// CacheHits counts report requests answered from the cache.
+	CacheHits atomic.Int64
+	// CacheMisses counts report requests that had to generate (or wait on a
+	// coalesced generation).
+	CacheMisses atomic.Int64
+	// Coalesced counts requests that attached to another request's
+	// in-flight generation instead of starting their own.
+	Coalesced atomic.Int64
+	// Generations counts simulations actually run.
+	Generations atomic.Int64
+	// GenerationErrors counts simulations that returned an error.
+	GenerationErrors atomic.Int64
+	// Timeouts counts requests that exceeded their generation budget (504s).
+	Timeouts atomic.Int64
+	// NotFound counts requests naming unknown experiment ids (404s).
+	NotFound atomic.Int64
+	// InFlight gauges requests currently being handled.
+	InFlight atomic.Int64
+	// GenInFlight gauges simulations currently running in the worker pool.
+	GenInFlight atomic.Int64
+	// LatencyMicros accumulates total request latency in microseconds;
+	// LatencyMicros/Requests is the mean request latency.
+	LatencyMicros atomic.Int64
+}
+
+// WriteText renders every metric as one "name value" line in a fixed order,
+// the expvar-style text form served at /metrics.
+func (m *Metrics) WriteText(w io.Writer) {
+	rows := []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"memoird_requests_total", &m.Requests},
+		{"memoird_report_requests_total", &m.ReportRequests},
+		{"memoird_suite_requests_total", &m.SuiteRequests},
+		{"memoird_cache_hits_total", &m.CacheHits},
+		{"memoird_cache_misses_total", &m.CacheMisses},
+		{"memoird_coalesced_total", &m.Coalesced},
+		{"memoird_generations_total", &m.Generations},
+		{"memoird_generation_errors_total", &m.GenerationErrors},
+		{"memoird_timeouts_total", &m.Timeouts},
+		{"memoird_not_found_total", &m.NotFound},
+		{"memoird_inflight", &m.InFlight},
+		{"memoird_generations_inflight", &m.GenInFlight},
+		{"memoird_request_latency_micros_total", &m.LatencyMicros},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s %d\n", r.name, r.v.Load())
+	}
+}

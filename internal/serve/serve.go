@@ -1,0 +1,361 @@
+// Package serve implements memoird, the long-running evaluation service in
+// front of the experiments suite: it answers report requests from a sharded
+// in-memory cache, coalesces concurrent identical requests into a single
+// simulation, bounds concurrent generation with a worker pool, and exposes
+// its own behaviour at /metrics.
+//
+// Determinism contract: a report is generated with the same per-experiment
+// derived seed as experiments.RunAll (Options.ForExperiment), and the
+// rendered bytes are stored and served verbatim. Identical requests
+// therefore return byte-identical bodies whether they hit the cache, miss
+// it, or coalesce onto another request's generation — and those bodies match
+// what cmd/figures prints for the same seed.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"privmem/internal/experiments"
+)
+
+// RunFunc generates one experiment report. The server calls it with the
+// request-scoped context (carrying the per-request timeout) and the
+// caller-facing options; seed derivation is the RunFunc's responsibility so
+// tests can substitute deterministic fakes.
+type RunFunc func(ctx context.Context, id string, opts experiments.Options) (*experiments.Report, error)
+
+// DefaultRun generates reports exactly as a RunAll suite would: with the
+// per-experiment derived seed, so served reports match cmd/figures output
+// for the same base seed.
+func DefaultRun(ctx context.Context, id string, opts experiments.Options) (*experiments.Report, error) {
+	return experiments.RunContext(ctx, id, opts.ForExperiment(id))
+}
+
+// Config parameterizes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// Run generates reports; nil selects DefaultRun.
+	Run RunFunc
+	// MaxConcurrent bounds simultaneous report generations (the worker
+	// pool). Values below 1 select runtime.NumCPU().
+	MaxConcurrent int
+	// Timeout is the per-request generation budget; expired requests get
+	// 504. Values <= 0 select 60s.
+	Timeout time.Duration
+	// CacheEntries bounds the report cache; values below 1 select 256.
+	CacheEntries int
+}
+
+// Server is the memoird HTTP service. Create with New, mount via Handler.
+type Server struct {
+	run     RunFunc
+	cache   *Cache
+	flight  flightGroup
+	sem     chan struct{}
+	timeout time.Duration
+	metrics Metrics
+	known   map[string]bool
+}
+
+// New returns a Server ready to serve requests.
+func New(cfg Config) *Server {
+	if cfg.Run == nil {
+		cfg.Run = DefaultRun
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = runtime.NumCPU()
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 256
+	}
+	s := &Server{
+		run:     cfg.Run,
+		cache:   NewCache(cfg.CacheEntries),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		timeout: cfg.Timeout,
+		known:   make(map[string]bool),
+	}
+	for _, id := range experiments.AllIDs() {
+		s.known[id] = true
+	}
+	return s
+}
+
+// Metrics exposes the server's counters, for tests and embedding daemons.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Handler returns the service's route table. Shutdown draining is the
+// embedding http.Server's job: http.Server.Shutdown waits for in-flight
+// handlers, which is exactly the in-flight work this service tracks.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
+	mux.HandleFunc("GET /v1/experiments", s.instrument(s.handleExperiments))
+	mux.HandleFunc("GET /v1/report/{id}", s.instrument(s.handleReport))
+	mux.HandleFunc("POST /v1/suite", s.instrument(s.handleSuite))
+	return mux
+}
+
+// instrument wraps a handler with the request counter, in-flight gauge, and
+// latency accumulator.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.Requests.Add(1)
+		s.metrics.InFlight.Add(1)
+		defer func() {
+			s.metrics.InFlight.Add(-1)
+			s.metrics.LatencyMicros.Add(time.Since(start).Microseconds())
+		}()
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.WriteText(w)
+	fmt.Fprintf(w, "memoird_cache_entries %d\n", s.cache.Len())
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"experiments": experiments.IDs(),
+		"ablations":   experiments.AblationIDs(),
+	})
+}
+
+// parseReportOptions reads ?seed= and ?quick= into experiment Options,
+// matching the figures CLI defaults (seed 42, explicit).
+func parseReportOptions(r *http.Request) (experiments.Options, error) {
+	opts := experiments.Options{Seed: 42, SeedSet: true}
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad seed %q", v)
+		}
+		opts.Seed = seed
+	}
+	if v := q.Get("quick"); v != "" {
+		quick, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad quick %q", v)
+		}
+		opts.Quick = quick
+	}
+	return opts, nil
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ReportRequests.Add(1)
+	id := r.PathValue("id")
+	if !s.known[id] {
+		s.metrics.NotFound.Add(1)
+		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
+		return
+	}
+	opts, err := parseReportOptions(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	e, source, err := s.getOrGenerate(ctx, id, opts)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeEntry(w, r, e, source)
+}
+
+// suiteRequest is the POST /v1/suite body. Ids defaults to the paper
+// artifacts; Seed 0 means the default seed 42, matching the report route.
+type suiteRequest struct {
+	IDs   []string `json:"ids"`
+	Seed  int64    `json:"seed"`
+	Quick bool     `json:"quick"`
+}
+
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	s.metrics.SuiteRequests.Add(1)
+	var req suiteRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	// An empty body (io.EOF) selects the all-defaults suite.
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	ids := req.IDs
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		if !s.known[id] {
+			s.metrics.NotFound.Add(1)
+			http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
+			return
+		}
+	}
+	opts := experiments.Options{Seed: 42, SeedSet: true, Quick: req.Quick}
+	if req.Seed != 0 {
+		opts.Seed = req.Seed
+	}
+
+	// Fan the suite out like RunAll: every id is its own cache/coalesce/
+	// generate chain, with concurrency bounded by the shared worker pool.
+	// Results land in ids order, so the response body is deterministic.
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	entries := make([]*Entry, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, _, err := s.getOrGenerate(ctx, id, opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", id, err)
+				return
+			}
+			entries[i] = e
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Entries hold canonical pre-rendered JSON; splice them verbatim so the
+	// suite response is byte-identical run to run.
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"reports":[`))
+	for i, e := range entries {
+		if i > 0 {
+			w.Write([]byte(","))
+		}
+		w.Write(e.JSON)
+	}
+	w.Write([]byte("]}\n"))
+}
+
+// getOrGenerate returns the entry for (id, opts) from the cache, from a
+// coalesced in-flight generation, or by generating it on the worker pool.
+// source describes how the entry was satisfied: "hit", "miss", or
+// "coalesced".
+func (s *Server) getOrGenerate(ctx context.Context, id string, opts experiments.Options) (*Entry, string, error) {
+	key := opts.CacheKey(id)
+	if e, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		return e, "hit", nil
+	}
+	s.metrics.CacheMisses.Add(1)
+	e, shared, err := s.flight.do(ctx, key, func() (*Entry, error) {
+		// A just-finished leader may have filled the cache between our miss
+		// and this flight; don't re-simulate.
+		if e, ok := s.cache.Get(key); ok {
+			return e, nil
+		}
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		s.metrics.Generations.Add(1)
+		rep, err := s.run(ctx, id, opts)
+		if err != nil {
+			s.metrics.GenerationErrors.Add(1)
+			return nil, err
+		}
+		e, err := newEntry(key, rep)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(e)
+		return e, nil
+	})
+	source := "miss"
+	if shared {
+		s.metrics.Coalesced.Add(1)
+		source = "coalesced"
+	}
+	return e, source, err
+}
+
+// acquire takes a worker-pool slot, abandoning the wait when ctx expires.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.GenInFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	s.metrics.GenInFlight.Add(-1)
+	<-s.sem
+}
+
+// writeEntry serves a cached entry in the requested format, tagging the
+// response with how it was satisfied (hit, miss, coalesced).
+func (s *Server) writeEntry(w http.ResponseWriter, r *http.Request, e *Entry, source string) {
+	w.Header().Set("X-Memoird-Cache", source)
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(e.JSON)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(e.Text)
+}
+
+// writeError maps generation failures onto HTTP statuses: expired budgets
+// are 504, unknown experiments 404 (reachable via RunFunc substitutes),
+// anything else 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.metrics.Timeouts.Add(1)
+		http.Error(w, "report generation timed out", http.StatusGatewayTimeout)
+	case errors.Is(err, experiments.ErrUnknown):
+		s.metrics.NotFound.Add(1)
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// newEntry renders a report once into both served encodings.
+func newEntry(key string, rep *experiments.Report) (*Entry, error) {
+	js, err := json.Marshal(rep)
+	if err != nil {
+		return nil, fmt.Errorf("encode report %s: %w", rep.ID, err)
+	}
+	return &Entry{Key: key, Text: []byte(rep.Render()), JSON: js}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

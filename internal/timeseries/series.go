@@ -88,12 +88,19 @@ func (s *Series) TimeAt(i int) time.Time {
 }
 
 // IndexOf returns the sample index covering t, which may be out of range if
-// t falls outside the series.
+// t falls outside the series. The division floors: a t anywhere inside
+// [Start + i*Step, Start + (i+1)*Step) maps to i, so pre-start timestamps
+// map to negative indexes rather than being truncated toward index 0.
 func (s *Series) IndexOf(t time.Time) int {
 	if s.Step <= 0 {
 		return -1
 	}
-	return int(t.Sub(s.Start) / s.Step)
+	d := t.Sub(s.Start)
+	i := d / s.Step
+	if d < 0 && d%s.Step != 0 {
+		i--
+	}
+	return int(i)
 }
 
 // At returns the value of the sample covering t, or 0 if t is outside the
@@ -263,6 +270,13 @@ func (s *Series) Energy() float64 {
 // Resample returns the series re-sampled to the given step by averaging
 // (when coarsening) or by sample-and-hold (when refining). The new step must
 // be a positive multiple or divisor of the current step.
+//
+// When the length is not a multiple of the coarsening factor, the trailing
+// samples form a partial bucket that is still emitted: it is averaged over
+// the full output step, with the uncovered remainder counting as zero.
+// That choice makes coarsening conserve Energy() exactly — no samples are
+// dropped and no phantom energy is invented — at the cost of the final
+// bucket understating mean power for the portion it actually covers.
 func (s *Series) Resample(step time.Duration) (*Series, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("resample: %w", ErrBadStep)
@@ -275,13 +289,17 @@ func (s *Series) Resample(step time.Duration) (*Series, error) {
 			return nil, fmt.Errorf("resample %v to %v: not a multiple: %w", s.Step, step, ErrStepMismatch)
 		}
 		k := int(step / s.Step)
-		n := len(s.Values) / k
+		n := (len(s.Values) + k - 1) / k
 		out := &Series{Start: s.Start, Step: step, Values: make([]float64, n)}
 		for i := 0; i < n; i++ {
+			lo := i * k
+			hi := min(lo+k, len(s.Values))
 			var sum float64
-			for j := 0; j < k; j++ {
-				sum += s.Values[i*k+j]
+			for j := lo; j < hi; j++ {
+				sum += s.Values[j]
 			}
+			// Divide by the full bucket width even for a partial tail; see
+			// the energy-conservation contract in the doc comment.
 			out.Values[i] = sum / float64(k)
 		}
 		return out, nil

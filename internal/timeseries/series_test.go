@@ -217,6 +217,66 @@ func TestResampleRoundTripPreservesEnergy(t *testing.T) {
 	}
 }
 
+// Regression: IndexOf divided with truncation toward zero, so a timestamp
+// strictly inside (Start-Step, Start) mapped to index 0. At then returned
+// Values[0] for an out-of-range time instead of 0.
+func TestIndexOfFloorsPreStart(t *testing.T) {
+	s, _ := FromValues(testStart, time.Minute, []float64{1, 2, 3})
+	cases := []struct {
+		offset time.Duration
+		want   int
+	}{
+		{-time.Second, -1},       // inside (Start-Step, Start): the bug
+		{-59 * time.Second, -1},  // still the bug window
+		{-time.Minute, -1},       // exactly one step early
+		{-90 * time.Second, -2},  // deeper pre-start, non-aligned
+		{-2 * time.Minute, -2},   // aligned
+		{0, 0},
+		{59 * time.Second, 0},
+		{time.Minute, 1},
+	}
+	for _, c := range cases {
+		if got := s.IndexOf(testStart.Add(c.offset)); got != c.want {
+			t.Errorf("IndexOf(Start%+v) = %d, want %d", c.offset, got, c.want)
+		}
+	}
+	if got := s.At(testStart.Add(-time.Second)); got != 0 {
+		t.Errorf("At(Start-1s) = %v, want 0 (out of range)", got)
+	}
+	if w := s.Window(testStart.Add(-90*time.Second), testStart.Add(-time.Second)); w.Len() != 0 {
+		t.Errorf("pre-start Window has %d samples, want 0", w.Len())
+	}
+}
+
+// Regression: coarsening silently dropped up to k-1 trailing samples
+// (n := len/k), losing their energy with no signal to the caller. The
+// partial tail is now emitted as a full-width average, so Energy() is
+// conserved exactly.
+func TestResamplePartialTailConservesEnergy(t *testing.T) {
+	// 150 minutes at a constant 1 kW: 2.5 hourly buckets.
+	s := MustNew(testStart, time.Minute, 150)
+	for i := range s.Values {
+		s.Values[i] = 1000
+	}
+	r, err := s.Resample(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Resample() len = %d, want 3 (partial tail bucket kept)", r.Len())
+	}
+	if r.Values[0] != 1000 || r.Values[1] != 1000 {
+		t.Errorf("full buckets = %v, %v, want 1000", r.Values[0], r.Values[1])
+	}
+	// 30 of 60 minutes at 1 kW, averaged over the full hour.
+	if r.Values[2] != 500 {
+		t.Errorf("tail bucket = %v, want 500", r.Values[2])
+	}
+	if math.Abs(r.Energy()-s.Energy()) > 1e-6 {
+		t.Errorf("energy not conserved: %v -> %v", s.Energy(), r.Energy())
+	}
+}
+
 func TestDiff(t *testing.T) {
 	s, _ := FromValues(testStart, time.Minute, []float64{1, 4, 2, 2})
 	d := s.Diff()
@@ -339,16 +399,12 @@ func TestQuickAddCommutative(t *testing.T) {
 	}
 }
 
-// Property: coarsening resample preserves total energy up to truncation of a
-// partial trailing window.
+// Property: coarsening resample preserves total energy for every length,
+// including lengths that leave a partial trailing bucket.
 func TestQuickResampleEnergy(t *testing.T) {
 	f := func(raw []float64, kRaw uint8) bool {
 		vals := sanitize(raw)
 		k := int(kRaw%8) + 1
-		// Pad to a multiple of k so no samples are truncated.
-		for len(vals)%k != 0 {
-			vals = append(vals, 0)
-		}
 		s, _ := FromValues(testStart, time.Minute, vals)
 		r, err := s.Resample(time.Duration(k) * time.Minute)
 		if err != nil {
