@@ -1,14 +1,23 @@
 # PR gate and developer shortcuts. `make check` is what every PR must pass:
 # vet, build, the full test suite under the race detector (the RunAll and
-# serve concurrency tests only count as coverage when raced), and the
-# memoird smoke test (random port, /healthz + report probes, cache-hit
-# verification, clean shutdown).
+# serve concurrency tests only count as coverage when raced), the
+# per-package coverage floor, a fuzz smoke over both untrusted decoders,
+# and the memoird smoke test (random port, /healthz + report probes,
+# cache-hit verification, clean shutdown).
 
 GO ?= go
 
-.PHONY: check vet build test race short bench figures smoke memoird
+# Packages whose statement coverage must stay at or above COVER_FLOOR.
+COVER_FLOOR ?= 70
+COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve
 
-check: vet build race smoke
+# Per-target budget for the fuzz smoke. CI uses the default; raise it for a
+# longer local hunt, e.g. `make fuzz FUZZTIME=10m`.
+FUZZTIME ?= 30s
+
+.PHONY: check vet build test race short cover fuzz bench bench-serve figures smoke memoird
+
+check: vet build race cover fuzz smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,8 +34,35 @@ race:
 short:
 	$(GO) test -short ./...
 
+# cover enforces the coverage gate: each package in COVER_PKGS must report
+# statement coverage >= COVER_FLOOR percent or the target fails.
+cover:
+	@set -e; for pkg in $(COVER_PKGS); do \
+		out=$$($(GO) test -count=1 -cover $$pkg); \
+		echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for $$pkg"; exit 1; fi; \
+		ok=$$(awk -v p=$$pct -v f=$(COVER_FLOOR) 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+		if [ "$$ok" != "1" ]; then \
+			echo "cover: $$pkg at $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+	done
+
+# fuzz runs each native fuzz target for FUZZTIME against the checked-in
+# corpus under testdata/fuzz/. Any crasher is written back there as a
+# failing seed, so a red `make fuzz` leaves a reproducer behind.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCapture$$' -fuzztime $(FUZZTIME) ./internal/nettrace
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/timeseries
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# bench-serve snapshots the report-cache benchmarks as machine-readable
+# JSON (BENCH_serve.json) for cross-PR comparison.
+bench-serve:
+	$(GO) test -bench 'BenchmarkReportCache' -benchmem -run '^$$' ./internal/serve \
+		| $(GO) run ./cmd/benchjson > BENCH_serve.json
 
 figures:
 	$(GO) run ./cmd/figures

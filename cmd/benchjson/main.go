@@ -1,0 +1,43 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array on stdout, one object per benchmark result line:
+//
+//	go test -bench BenchmarkReportCache -run '^$' ./internal/serve | benchjson > BENCH_serve.json
+//
+// Each object carries the benchmark name (with the -N GOMAXPROCS suffix),
+// iteration count, ns/op, and — when the benchmark reports them — B/op and
+// allocs/op. Non-benchmark lines (the goos/pkg preamble, PASS, ok) are
+// ignored, so raw `go test` output pipes straight through.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

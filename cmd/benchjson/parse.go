@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse extracts benchmark results from `go test -bench` output. A result
+// line is whitespace-separated:
+//
+//	BenchmarkName-8   123456   987.6 ns/op  [ 1234 B/op  12 allocs/op ]
+//
+// Lines not starting with "Benchmark" are skipped. A line that starts like a
+// benchmark but does not parse is an error — silently dropping it would make
+// a regressed benchmark look like a removed one.
+func Parse(r io.Reader) ([]Result, error) {
+	results := []Result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A bare "BenchmarkFoo" with no fields after it is the -v run
+		// announcement, not a result line.
+		if len(fields) < 4 {
+			continue
+		}
+		res := Result{Name: fields[0]}
+		var err error
+		if res.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+		}
+		rest := fields[2:]
+		for len(rest) >= 2 {
+			value, unit := rest[0], rest[1]
+			switch unit {
+			case "ns/op":
+				if res.NsPerOp, err = strconv.ParseFloat(value, 64); err != nil {
+					return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", line, err)
+				}
+			case "B/op":
+				n, err := strconv.ParseInt(value, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", line, err)
+				}
+				res.BytesPerOp = &n
+			case "allocs/op":
+				n, err := strconv.ParseInt(value, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", line, err)
+				}
+				res.AllocsPerOp = &n
+			}
+			rest = rest[2:]
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: read: %w", err)
+	}
+	return results, nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: privmem/internal/serve
+cpu: Fake CPU @ 3.00GHz
+BenchmarkReportCacheHit-8    1690336       709.5 ns/op      1104 B/op       9 allocs/op
+BenchmarkReportCacheMiss-8        38    30521847 ns/op
+PASS
+ok  	privmem/internal/serve	3.194s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	hit := results[0]
+	if hit.Name != "BenchmarkReportCacheHit-8" || hit.Iterations != 1690336 || hit.NsPerOp != 709.5 {
+		t.Errorf("hit = %+v", hit)
+	}
+	if hit.BytesPerOp == nil || *hit.BytesPerOp != 1104 || hit.AllocsPerOp == nil || *hit.AllocsPerOp != 9 {
+		t.Errorf("hit mem stats = %v/%v", hit.BytesPerOp, hit.AllocsPerOp)
+	}
+	miss := results[1]
+	if miss.Name != "BenchmarkReportCacheMiss-8" || miss.NsPerOp != 30521847 {
+		t.Errorf("miss = %+v", miss)
+	}
+	if miss.BytesPerOp != nil || miss.AllocsPerOp != nil {
+		t.Errorf("miss should have no mem stats: %+v", miss)
+	}
+}
+
+func TestParseEmptyInputIsEmptyArray(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok x 0.01s\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if results == nil || len(results) != 0 {
+		t.Fatalf("want empty (non-null) array, got %s", out.String())
+	}
+}
+
+func TestParseRejectsMangledBenchmarkLine(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBroken-8 notanumber 1 ns/op\n")); err == nil {
+		t.Fatal("mangled benchmark line accepted")
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("round-tripped %d results, want 2", len(results))
+	}
+}

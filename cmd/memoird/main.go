@@ -41,18 +41,27 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is the testable entry point: flags, streams, and lifetime are all
+// injected. It returns the process exit code: 0 on clean shutdown (signal or
+// ctx cancellation), 1 on serve/smoke failure, 2 on a flag error.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memoird", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr    = flag.String("addr", ":8372", "listen address")
-		workers = flag.Int("workers", runtime.NumCPU(), "max concurrent report generations")
-		cache   = flag.Int("cache", 256, "max cached reports")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-request generation budget")
-		smoke   = flag.Bool("smoke", false, "self-test: serve on a random port, probe, shut down")
+		addr    = fs.String("addr", ":8372", "listen address")
+		workers = fs.Int("workers", runtime.NumCPU(), "max concurrent report generations")
+		cache   = fs.Int("cache", 256, "max cached reports")
+		timeout = fs.Duration("timeout", 60*time.Second, "per-request generation budget")
+		smoke   = fs.Bool("smoke", false, "self-test: serve on a random port, probe, shut down")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	srv := serve.New(serve.Config{
 		MaxConcurrent: *workers,
@@ -62,37 +71,42 @@ func run() int {
 
 	if *smoke {
 		if err := runSmoke(srv); err != nil {
-			fmt.Fprintf(os.Stderr, "memoird: smoke failed: %v\n", err)
+			fmt.Fprintf(stderr, "memoird: smoke failed: %v\n", err)
 			return 1
 		}
-		fmt.Println("memoird: smoke ok")
+		fmt.Fprintln(stdout, "memoird: smoke ok")
 		return 0
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Bind explicitly so the resolved address (meaningful with ":0") is
+	// printed and testable before any request arrives.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "memoird: listen %s: %v\n", *addr, err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("memoird: serving on %s (%d workers, %d cache entries, %s budget)\n",
-			*addr, *workers, *cache, *timeout)
-		errc <- httpSrv.ListenAndServe()
+		fmt.Fprintf(stdout, "memoird: serving on %s (%d workers, %d cache entries, %s budget)\n",
+			ln.Addr(), *workers, *cache, *timeout)
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "memoird: %v\n", err)
+		fmt.Fprintf(stderr, "memoird: %v\n", err)
 		return 1
 	case <-ctx.Done():
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests.
-	fmt.Println("memoird: shutting down")
+	fmt.Fprintln(stdout, "memoird: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "memoird: shutdown: %v\n", err)
+		fmt.Fprintf(stderr, "memoird: shutdown: %v\n", err)
 		return 1
 	}
 	return 0

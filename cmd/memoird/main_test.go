@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run writes to stdout from the
+// serving goroutine while the test polls for the bound address.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut syncBuffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "no-such-flag") {
+		t.Errorf("stderr does not name the bad flag:\n%s", errOut.String())
+	}
+}
+
+func TestRunBadFlagValue(t *testing.T) {
+	var out, errOut syncBuffer
+	if code := run(context.Background(), []string{"-workers", "banana"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag value exit = %d, want 2", code)
+	}
+}
+
+func TestRunListenFailure(t *testing.T) {
+	var out, errOut syncBuffer
+	code := run(context.Background(), []string{"-addr", "297.0.0.1:1"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("unlistenable addr exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "listen") {
+		t.Errorf("stderr does not report the listen failure:\n%s", errOut.String())
+	}
+}
+
+var servingRe = regexp.MustCompile(`serving on ([^ ]+) `)
+
+// TestRunServeLifecycle boots the daemon on port 0, scrapes the bound
+// address from stdout, exercises live endpoints (health, bad route, unknown
+// report — both with the JSON error shape), then cancels the context and
+// expects a clean exit 0.
+func TestRunServeLifecycle(t *testing.T) {
+	var out, errOut syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	codec := make(chan int, 1)
+	go func() {
+		codec <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-timeout", "5s"}, &out, &errOut)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout:\n%s\nstderr:\n%s", out.String(), errOut.String())
+		}
+		if m := servingRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	getJSONError := func(path string, wantStatus int) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s = %d, want %d\n%s", path, resp.StatusCode, wantStatus, body)
+		}
+		var e struct {
+			Error  string `json:"error"`
+			Status int    `json:"status"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatalf("GET %s: body is not the JSON error shape: %v\n%s", path, err, body)
+		}
+		if e.Status != wantStatus || e.Error == "" {
+			t.Fatalf("GET %s: error shape %+v, want status %d", path, e, wantStatus)
+		}
+	}
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %v, %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	getJSONError("/no/such/route", http.StatusNotFound)
+	getJSONError("/v1/report/zz", http.StatusNotFound)
+	getJSONError(fmt.Sprintf("/v1/report/t6?seed=%s", "banana"), http.StatusBadRequest)
+
+	cancel()
+	select {
+	case code := <-codec:
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errOut.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not shut down after context cancellation")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("stdout missing shutdown notice:\n%s", out.String())
+	}
+}

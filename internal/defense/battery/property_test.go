@@ -1,0 +1,108 @@
+package battery
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"privmem/internal/invariant"
+)
+
+// checkPhysical asserts the physical laws every battery run must satisfy:
+// the state of charge stays within [0, capacity], the metered grid trace
+// matches the load's shape, and grid power never goes negative (the defenses
+// never export).
+func checkPhysical(t *testing.T, res *Result, b Battery, loadLen int) {
+	t.Helper()
+	if res.Grid.Len() != loadLen || res.SoCWh.Len() != loadLen {
+		t.Fatalf("result lengths %d/%d, want %d", res.Grid.Len(), res.SoCWh.Len(), loadLen)
+	}
+	const eps = 1e-6
+	for i, soc := range res.SoCWh.Values {
+		if soc < -eps || soc > b.CapacityWh+eps {
+			t.Fatalf("SoC[%d] = %.3f Wh outside [0, %.0f]", i, soc, b.CapacityWh)
+		}
+	}
+	for i, g := range res.Grid.Values {
+		if g < -eps {
+			t.Fatalf("grid[%d] = %.3f W negative (defense exported power)", i, g)
+		}
+	}
+	if res.ThroughputWh < 0 {
+		t.Fatalf("throughput = %.3f Wh negative", res.ThroughputWh)
+	}
+}
+
+// TestPropNILLPhysicalBounds drives NILL over random loads and battery
+// sizes: SoC and grid bounds must hold for every configuration.
+func TestPropNILLPhysicalBounds(t *testing.T) {
+	invariant.Check(t, 46, 12, func(rng *rand.Rand, i int) error {
+		load := invariant.RandomSeries(rng, invariant.SeriesSpec{
+			MinLen: 720, MaxLen: 1440,
+			Steps: []time.Duration{time.Minute},
+			MinV:  50, MaxV: 4000,
+		})
+		b := DefaultBattery()
+		b.CapacityWh = 1000 + rng.Float64()*20000
+		b.InitialSoC = rng.Float64()
+		res, err := NILL(load, b)
+		if err != nil {
+			return err
+		}
+		checkPhysical(t, res, b, load.Len())
+		return nil
+	})
+}
+
+// TestPropSteppingPhysicalBounds does the same for the stepping policy.
+func TestPropSteppingPhysicalBounds(t *testing.T) {
+	invariant.Check(t, 47, 12, func(rng *rand.Rand, i int) error {
+		load := invariant.RandomSeries(rng, invariant.SeriesSpec{
+			MinLen: 720, MaxLen: 1440,
+			Steps: []time.Duration{time.Minute},
+			MinV:  50, MaxV: 4000,
+		})
+		b := DefaultBattery()
+		b.CapacityWh = 1000 + rng.Float64()*20000
+		res, err := Stepping(load, b, 500)
+		if err != nil {
+			return err
+		}
+		checkPhysical(t, res, b, load.Len())
+		return nil
+	})
+}
+
+// TestPropSaturationMonotoneInCapacity checks the defense's knob law: a
+// bigger battery saturates no more often (it can absorb everything a smaller
+// one could). The controller's adaptive target makes small local ripples
+// physical, so the check tolerates a few steps of slack per doubling.
+func TestPropSaturationMonotoneInCapacity(t *testing.T) {
+	capacities := []float64{2000, 5000, 13500, 27000, 54000}
+	for _, seed := range []int64{1, 2, 3} {
+		rng := invariant.Rand(48, int(seed))
+		load := invariant.RandomSeries(rng, invariant.SeriesSpec{
+			MinLen: 1440, MaxLen: 1440,
+			Steps: []time.Duration{time.Minute},
+			MinV:  50, MaxV: 4000,
+		})
+		sat := make([]float64, len(capacities))
+		for i, c := range capacities {
+			b := DefaultBattery()
+			b.CapacityWh = c
+			res, err := NILL(load, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkPhysical(t, res, b, load.Len())
+			sat[i] = float64(res.SaturatedSteps)
+		}
+		// Tolerance: the adaptive target resets differently per capacity, so
+		// allow a 5% (of trace length) ripple while requiring the trend.
+		tol := 0.05 * float64(load.Len())
+		if err := invariant.Monotone("NILL saturated steps vs capacity", capacities, sat,
+			invariant.NonIncreasing, tol); err != nil {
+			t.Errorf("seed %d: %v\n  capacities=%v\n  saturated=%v", seed, err, capacities, sat)
+		}
+	}
+}

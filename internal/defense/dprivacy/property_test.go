@@ -1,0 +1,87 @@
+package dprivacy
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"privmem/internal/invariant"
+	"privmem/internal/timeseries"
+)
+
+func randomHomes(rng *rand.Rand, n int) []*timeseries.Series {
+	spec := invariant.SeriesSpec{
+		MinLen: 288, MaxLen: 288,
+		Steps: []time.Duration{5 * time.Minute},
+		MinV:  100, MaxV: 3000,
+	}
+	homes := make([]*timeseries.Series, n)
+	for i := range homes {
+		homes[i] = invariant.RandomSeries(rng, spec)
+	}
+	return homes
+}
+
+// TestPropPerturbShape: the released series has the load's exact shape and
+// clamped-non-negative values, for any mechanism.
+func TestPropPerturbShape(t *testing.T) {
+	invariant.Check(t, 49, 20, func(rng *rand.Rand, i int) error {
+		s := invariant.RandomSeries(rng, invariant.SeriesSpec{})
+		m := Mechanism{Epsilon: 0.1 + rng.Float64()*5, SensitivityW: 100 + rng.Float64()*5000, Seed: rng.Int63()}
+		p, err := PerturbSeries(m, s)
+		if err != nil {
+			return err
+		}
+		if p.Len() != s.Len() || p.Step != s.Step || !p.Start.Equal(s.Start) {
+			t.Fatalf("perturbed shape changed: %d/%v vs %d/%v", p.Len(), p.Step, s.Len(), s.Step)
+		}
+		for j, v := range p.Values {
+			if v < 0 {
+				t.Fatalf("released reading %d = %v negative after clamping", j, v)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropAggregateErrorMonotoneInEpsilon checks the privacy/utility knob
+// law: for a fixed seed the Laplace noise is exactly linear in the scale
+// b = sensitivity/epsilon, so the aggregate's relative error is strictly
+// non-increasing as epsilon grows (less privacy, more utility).
+func TestPropAggregateErrorMonotoneInEpsilon(t *testing.T) {
+	epsilons := []float64{0.05, 0.1, 0.5, 1, 2, 5}
+	for _, seed := range []int64{11, 12, 13} {
+		homes := randomHomes(invariant.Rand(50, int(seed)), 5)
+		errs := make([]float64, len(epsilons))
+		for i, eps := range epsilons {
+			q, err := Aggregate(Mechanism{Epsilon: eps, SensitivityW: 5000, Seed: seed}, homes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs[i] = q.RelativeError
+		}
+		if err := invariant.Monotone("aggregate relative error vs epsilon", epsilons, errs,
+			invariant.NonIncreasing, 1e-12); err != nil {
+			t.Errorf("seed %d: %v\n  errors=%v", seed, err, errs)
+		}
+	}
+}
+
+// TestPropAggregateErrorMonotoneInSensitivity is the same law from the other
+// side: more sensitivity (same epsilon) means more noise, never less.
+func TestPropAggregateErrorMonotoneInSensitivity(t *testing.T) {
+	sensitivities := []float64{500, 1000, 2500, 5000, 10000}
+	homes := randomHomes(invariant.Rand(51, 0), 4)
+	errs := make([]float64, len(sensitivities))
+	for i, sens := range sensitivities {
+		q, err := Aggregate(Mechanism{Epsilon: 1, SensitivityW: sens, Seed: 9}, homes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = q.RelativeError
+	}
+	if err := invariant.Monotone("aggregate relative error vs sensitivity", sensitivities, errs,
+		invariant.NonDecreasing, 1e-12); err != nil {
+		t.Errorf("%v\n  errors=%v", err, errs)
+	}
+}

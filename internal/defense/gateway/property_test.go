@@ -1,0 +1,86 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"privmem/internal/invariant"
+	"privmem/internal/nettrace"
+)
+
+func simCapture(t *testing.T, seed int64) *nettrace.Capture {
+	t.Helper()
+	cfg := nettrace.DefaultConfig(seed)
+	cfg.Days = 1
+	cap, err := nettrace.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cap
+}
+
+// TestPropShapedTrafficIsConstant pins the shaping privacy invariant: behind
+// the gateway, every device emits exactly one record per interval, always to
+// the opaque gateway endpoint, with byte volumes constant over the whole
+// capture — an upstream observer learns nothing from volume or timing.
+func TestPropShapedTrafficIsConstant(t *testing.T) {
+	cap := simCapture(t, 21)
+	shaped, _, err := Shape(cap, ShapeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultShapeConfig()
+	intervals := int(cap.End.Sub(cap.Start) / cfg.Interval)
+	type sig struct{ up, down int }
+	perDev := map[string]sig{}
+	counts := map[string]int{}
+	for _, r := range shaped.Records {
+		if r.Endpoint != "gateway.shaped.local" {
+			t.Fatalf("shaped record leaks endpoint %q", r.Endpoint)
+		}
+		if off := r.Time.Sub(cap.Start); off%cfg.Interval != 0 {
+			t.Fatalf("shaped record at %v leaks timing (offset %v)", r.Time, off)
+		}
+		s := sig{r.BytesUp, r.BytesDown}
+		if prev, seen := perDev[r.Device]; seen && prev != s {
+			t.Fatalf("device %s volume varies: %v then %v", r.Device, prev, s)
+		}
+		perDev[r.Device] = s
+		counts[r.Device]++
+	}
+	for dev, n := range counts {
+		if n != intervals {
+			t.Errorf("device %s emitted %d records, want %d (one per interval)", dev, n, intervals)
+		}
+	}
+}
+
+// TestPropShapeMonotoneInQuantile checks the knob law: raising the envelope
+// quantile buys more padding (overhead non-decreasing) and less queueing
+// (max queue delay non-increasing).
+func TestPropShapeMonotoneInQuantile(t *testing.T) {
+	quantiles := []float64{0.5, 0.7, 0.9, 0.95, 0.99, 1.0}
+	for _, seed := range []int64{21, 22, 23} {
+		cap := simCapture(t, seed)
+		overhead := make([]float64, len(quantiles))
+		delay := make([]float64, len(quantiles))
+		for i, q := range quantiles {
+			_, rep, err := Shape(cap, ShapeConfig{EnvelopeQuantile: q})
+			if err != nil {
+				t.Fatal(err)
+			}
+			overhead[i] = rep.PaddingOverhead
+			delay[i] = float64(rep.MaxQueueDelay)
+		}
+		if err := invariant.Monotone("padding overhead vs quantile", quantiles, overhead,
+			invariant.NonDecreasing, 1e-9); err != nil {
+			t.Errorf("seed %d: %v\n  overhead=%v", seed, err, overhead)
+		}
+		// int(eu) truncation when emitting records can wobble the drain time
+		// by a fraction of an interval; tolerate one interval of ripple.
+		if err := invariant.Monotone("max queue delay vs quantile", quantiles, delay,
+			invariant.NonIncreasing, float64(time.Minute)); err != nil {
+			t.Errorf("seed %d: %v\n  delay=%v", seed, err, delay)
+		}
+	}
+}

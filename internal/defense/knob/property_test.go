@@ -1,0 +1,44 @@
+package knob
+
+import (
+	"testing"
+
+	"privmem/internal/home"
+)
+
+// TestPropFrontierBounds evaluates a small frontier and checks every
+// advertised range: PrivacyGain in [0, 1], non-negative utility error and
+// extra energy, and the lambda-0 reference having zero gain and zero cost.
+func TestPropFrontierBounds(t *testing.T) {
+	cfg := home.DefaultConfig(17)
+	cfg.Days = 2
+	lambdas := []float64{0, 0.5, 1}
+	points, err := Frontier(cfg, lambdas, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(lambdas) {
+		t.Fatalf("frontier has %d points for %d lambdas", len(points), len(lambdas))
+	}
+	for i, p := range points {
+		if p.Lambda != lambdas[i] {
+			t.Errorf("point %d lambda = %v, want %v", i, p.Lambda, lambdas[i])
+		}
+		if p.PrivacyGain < 0 || p.PrivacyGain > 1 {
+			t.Errorf("lambda %v: privacy gain %.4f outside [0, 1]", p.Lambda, p.PrivacyGain)
+		}
+		if p.UtilityErr < 0 {
+			t.Errorf("lambda %v: utility error %.4f negative", p.Lambda, p.UtilityErr)
+		}
+		if p.AttackMCC < -1 || p.AttackMCC > 1 {
+			t.Errorf("lambda %v: attack MCC %.4f outside [-1, 1]", p.Lambda, p.AttackMCC)
+		}
+	}
+	ref := points[0]
+	if ref.PrivacyGain != 0 {
+		t.Errorf("lambda 0 reference has privacy gain %.4f, want 0", ref.PrivacyGain)
+	}
+	if ref.ExtraEnergyWh != 0 {
+		t.Errorf("lambda 0 reference has extra energy %.1f Wh, want 0", ref.ExtraEnergyWh)
+	}
+}

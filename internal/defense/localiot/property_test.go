@@ -1,0 +1,54 @@
+package localiot
+
+import (
+	"testing"
+
+	"privmem/internal/home"
+)
+
+// TestPropLocalNeverUploadsMore pins the package's core claims across
+// seeds: the local pipeline uploads strictly less than the cloud pipeline,
+// achieves the identical service quality (same analytics, different venue),
+// and leaves the cloud with zero occupancy inference.
+func TestPropLocalNeverUploadsMore(t *testing.T) {
+	for _, seed := range []int64{31, 32, 33} {
+		cfg := home.DefaultConfig(seed)
+		cfg.Days = 2
+		tr, err := home.Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cloud, err := CloudPipeline(tr, tr.Aggregate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := LocalPipeline(tr, tr.Aggregate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if local.UplinkBytes >= cloud.UplinkBytes {
+			t.Errorf("seed %d: local uplink %d >= cloud uplink %d", seed, local.UplinkBytes, cloud.UplinkBytes)
+		}
+		if local.ServiceMCC != cloud.ServiceMCC {
+			t.Errorf("seed %d: service quality diverged: local %.4f, cloud %.4f",
+				seed, local.ServiceMCC, cloud.ServiceMCC)
+		}
+		if local.CloudMCC != 0 {
+			t.Errorf("seed %d: local pipeline leaked occupancy signal to the cloud: MCC %.4f",
+				seed, local.CloudMCC)
+		}
+		if cloud.CloudMCC != cloud.ServiceMCC {
+			t.Errorf("seed %d: cloud pipeline should give provider the service's view: %.4f vs %.4f",
+				seed, cloud.CloudMCC, cloud.ServiceMCC)
+		}
+		// The daily-totals middle ground must leak no more than the full
+		// trace the cloud pipeline uploads.
+		leak, err := DailyTotalsLeak(tr, tr.Aggregate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leak < -1 || leak > 1 {
+			t.Errorf("seed %d: daily-totals MCC %.4f outside [-1, 1]", seed, leak)
+		}
+	}
+}

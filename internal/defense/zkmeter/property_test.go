@@ -1,0 +1,108 @@
+package zkmeter
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"time"
+
+	"privmem/internal/invariant"
+	"privmem/internal/meter"
+)
+
+// TestPropCommitVerifyRoundTrip: every committed value verifies against its
+// own opening and fails against a tampered one.
+func TestPropCommitVerifyRoundTrip(t *testing.T) {
+	g := NewGroup()
+	invariant.Check(t, 52, 25, func(rng *rand.Rand, i int) error {
+		x := rng.Int63n(1 << 40)
+		c, o, err := g.Commit(x, rng)
+		if err != nil {
+			return err
+		}
+		if err := g.Verify(c, o); err != nil {
+			return err
+		}
+		// Binding: a shifted value must not verify.
+		bad := Opening{X: new(big.Int).Add(o.X, big.NewInt(1)), R: o.R}
+		if err := g.Verify(c, bad); err == nil {
+			t.Fatalf("case %d: tampered opening (x+1) verified", i)
+		}
+		return nil
+	})
+}
+
+// TestPropCombineHomomorphism: the product of commitments opens to the sum
+// of the committed values — the law that lets a utility bill from
+// commitments alone.
+func TestPropCombineHomomorphism(t *testing.T) {
+	g := NewGroup()
+	invariant.Check(t, 53, 10, func(rng *rand.Rand, i int) error {
+		n := 2 + rng.Intn(20)
+		cs := make([]Commitment, n)
+		os := make([]Opening, n)
+		var sum int64
+		for j := 0; j < n; j++ {
+			x := rng.Int63n(1 << 30)
+			sum += x
+			c, o, err := g.Commit(x, rng)
+			if err != nil {
+				return err
+			}
+			cs[j], os[j] = c, o
+		}
+		cc, err := g.Combine(cs)
+		if err != nil {
+			return err
+		}
+		oo, err := g.CombineOpenings(os)
+		if err != nil {
+			return err
+		}
+		if oo.X.Int64() != sum {
+			t.Fatalf("case %d: combined opening = %v, want %d", i, oo.X, sum)
+		}
+		return g.Verify(cc, oo)
+	})
+}
+
+// TestPropBillingRoundTrip: a meter filled with random readings produces
+// bills that verify for every sub-range, and the verified total equals the
+// plain sum of the billed readings.
+func TestPropBillingRoundTrip(t *testing.T) {
+	g := NewGroup()
+	rng := invariant.Rand(54, 0)
+	m := NewMeter(g, rng)
+	start := time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+	readings := make([]meter.Reading, 12)
+	for i := range readings {
+		readings[i] = meter.Reading{Start: start.Add(time.Duration(i) * time.Hour), WattHours: rng.Int63n(5000)}
+		if err := m.Record(readings[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, span := range [][2]int{{0, 12}, {0, 1}, {3, 9}, {11, 12}} {
+		from, to := span[0], span[1]
+		ctx := "bill-test"
+		resp, err := m.Bill(from, to, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for _, r := range readings[from:to] {
+			want += r.WattHours
+		}
+		if resp.TotalWattHours != want {
+			t.Fatalf("bill [%d,%d) total = %d, want %d", from, to, resp.TotalWattHours, want)
+		}
+		if err := VerifyBill(g, m.Published[from:to], resp, ctx); err != nil {
+			t.Fatalf("bill [%d,%d): %v", from, to, err)
+		}
+		// A forged total must not verify.
+		forged := resp
+		forged.TotalWattHours++
+		if err := VerifyBill(g, m.Published[from:to], forged, ctx); err == nil {
+			t.Fatalf("bill [%d,%d): forged total verified", from, to)
+		}
+	}
+}

@@ -18,6 +18,22 @@ import (
 // ErrUnknown indicates an unknown experiment id.
 var ErrUnknown = errors.New("experiments: unknown experiment")
 
+// ErrPanic indicates a generator panicked. Run, RunContext, and RunAll
+// contain the panic and return it wrapped in ErrPanic, so one broken
+// experiment fails its own report instead of tearing down a suite run or a
+// serving daemon.
+var ErrPanic = errors.New("experiments: generator panicked")
+
+// safeRun invokes a runner with panic containment.
+func safeRun(r Runner, opts Options) (rep *Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep, err = nil, fmt.Errorf("%w: %v", ErrPanic, p)
+		}
+	}()
+	return r(opts)
+}
+
 // Options control an experiment run.
 type Options struct {
 	// Seed drives all randomness. For backward compatibility a zero Seed
@@ -181,13 +197,14 @@ func AllIDs() []string {
 	return append(IDs(), AblationIDs()...)
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id, containing generator panics as
+// ErrPanic errors.
 func Run(id string, opts Options) (*Report, error) {
 	r, ok := Registry()[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknown, id)
 	}
-	return r(opts)
+	return safeRun(r, opts)
 }
 
 // RunContext executes one experiment by id, honoring ctx cancellation and
@@ -209,7 +226,9 @@ func RunContext(ctx context.Context, id string, opts Options) (*Report, error) {
 	}
 	ch := make(chan result, 1)
 	go func() {
-		rep, err := r(opts)
+		// safeRun matters doubly here: an uncontained panic in this
+		// goroutine could not even be recovered by the caller.
+		rep, err := safeRun(r, opts)
 		ch <- result{rep, err}
 	}()
 	select {

@@ -1,0 +1,41 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"privmem/internal/experiments"
+	"privmem/internal/invariant/suite"
+)
+
+// suiteIDs is a small, cheap cross-section for determinism checks: a figure
+// generator, an attack table, and the zk-billing table.
+var suiteIDs = []string{"f1", "t1", "t6"}
+
+// TestPropRunAllDeterministic checks the suite-determinism law across worker
+// counts and seeds: RunAll must render bit-identical reports whether the
+// suite runs sequentially or spread over a pool.
+func TestPropRunAllDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite determinism sweep is not short")
+	}
+	for _, seed := range []int64{0, 1, 42} {
+		opts := experiments.Options{Seed: seed, SeedSet: true, Quick: true}
+		if err := suite.RunAllDeterministic(suiteIDs, opts, []int{1, 2, 5}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPropRunAllDeterministicErrors checks the law's error half: a suite
+// containing an unknown id must fail identically — same error text, same
+// partial results — under every worker count.
+func TestPropRunAllDeterministicErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite determinism sweep is not short")
+	}
+	ids := []string{"f1", "no-such-experiment", "t6"}
+	opts := experiments.Options{Seed: 7, SeedSet: true, Quick: true}
+	if err := suite.RunAllDeterministic(ids, opts, []int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package invariant
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+	"time"
+
+	"privmem/internal/timeseries"
+)
+
+// Rand returns the deterministic RNG for property case i under the test's
+// base seed. The sub-seed is the FNV-1a hash of (seed, i) — the same
+// derivation experiments uses per experiment id — so cases are decorrelated
+// from each other yet independent of how many cases run before them.
+func Rand(seed int64, i int) *rand.Rand {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(i))
+	h.Write(buf[:])
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Check drives a property: it runs fn for n deterministically sub-seeded
+// cases and fails the test on the first violated case, naming the case index
+// so the failure replays exactly (the rng for case i depends only on (seed,
+// i)).
+func Check(t *testing.T, seed int64, n int, fn func(rng *rand.Rand, i int) error) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := fn(Rand(seed, i), i); err != nil {
+			t.Fatalf("property violated at case %d (seed %d): %v", i, seed, err)
+		}
+	}
+}
+
+// SeriesSpec bounds RandomSeries. The zero value selects power-trace-like
+// defaults: 1..600 samples at a randomly chosen step between one second and
+// one hour, values in [0, 5000) watts.
+type SeriesSpec struct {
+	// MinLen and MaxLen bound the sample count (inclusive).
+	MinLen, MaxLen int
+	// Steps are the candidate sampling steps; one is chosen per series.
+	Steps []time.Duration
+	// MinV and MaxV bound sample values.
+	MinV, MaxV float64
+	// Start anchors the series; the zero value selects the repo's canonical
+	// simulation start (2017-06-05, a Monday).
+	Start time.Time
+}
+
+func (sp SeriesSpec) withDefaults() SeriesSpec {
+	if sp.MaxLen == 0 {
+		sp.MinLen, sp.MaxLen = 1, 600
+	}
+	if sp.MinLen < 0 {
+		sp.MinLen = 0
+	}
+	if len(sp.Steps) == 0 {
+		sp.Steps = []time.Duration{time.Second, 30 * time.Second, time.Minute, 15 * time.Minute, time.Hour}
+	}
+	if sp.MinV == 0 && sp.MaxV == 0 {
+		sp.MaxV = 5000
+	}
+	if sp.Start.IsZero() {
+		sp.Start = time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+	}
+	return sp
+}
+
+// RandomSeries draws a series from the spec using rng. All randomness comes
+// from rng, so a series is a pure function of (rng state, spec).
+func RandomSeries(rng *rand.Rand, spec SeriesSpec) *timeseries.Series {
+	spec = spec.withDefaults()
+	n := spec.MinLen
+	if spec.MaxLen > spec.MinLen {
+		n += rng.Intn(spec.MaxLen - spec.MinLen + 1)
+	}
+	step := spec.Steps[rng.Intn(len(spec.Steps))]
+	s := timeseries.MustNew(spec.Start, step, n)
+	for i := range s.Values {
+		s.Values[i] = spec.MinV + rng.Float64()*(spec.MaxV-spec.MinV)
+	}
+	return s
+}
+
+// CoarsenFactors returns the divisors of n (candidate coarsening factors
+// k where a width of k samples tiles part of the series) up to max, always
+// including at least {1}. Property tests use it to pick resampling factors
+// and window widths that exercise both the dividing and non-dividing cases.
+func CoarsenFactors(rng *rand.Rand, max int) int {
+	if max < 1 {
+		return 1
+	}
+	return 1 + rng.Intn(max)
+}

@@ -1,0 +1,87 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"privmem/internal/timeseries"
+)
+
+func TestRandDeterministicAndDecorrelated(t *testing.T) {
+	a, b := Rand(7, 3), Rand(7, 3)
+	for i := 0; i < 8; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, case) produced different streams")
+		}
+	}
+	if Rand(7, 3).Int63() == Rand(7, 4).Int63() {
+		t.Error("adjacent cases share a stream")
+	}
+	if Rand(7, 3).Int63() == Rand(8, 3).Int63() {
+		t.Error("adjacent seeds share a stream")
+	}
+}
+
+func TestRandomSeriesHonorsSpec(t *testing.T) {
+	spec := SeriesSpec{MinLen: 5, MaxLen: 9, Steps: []time.Duration{time.Minute}, MinV: 10, MaxV: 20}
+	for i := 0; i < 50; i++ {
+		s := RandomSeries(Rand(1, i), spec)
+		if s.Len() < 5 || s.Len() > 9 {
+			t.Fatalf("len %d outside [5, 9]", s.Len())
+		}
+		if s.Step != time.Minute {
+			t.Fatalf("step %v", s.Step)
+		}
+		for _, v := range s.Values {
+			if v < 10 || v >= 20 {
+				t.Fatalf("value %v outside [10, 20)", v)
+			}
+		}
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if err := Monotone("up", xs, []float64{1, 2, 3}, NonDecreasing, 0); err != nil {
+		t.Errorf("increasing rejected: %v", err)
+	}
+	if err := Monotone("down", xs, []float64{3, 2, 1}, NonIncreasing, 0); err != nil {
+		t.Errorf("decreasing rejected: %v", err)
+	}
+	if err := Monotone("ripple", xs, []float64{1, 0.95, 3}, NonDecreasing, 0.1); err != nil {
+		t.Errorf("in-tolerance ripple rejected: %v", err)
+	}
+	if err := Monotone("bad", xs, []float64{1, 0.5, 3}, NonDecreasing, 0.1); err == nil {
+		t.Error("out-of-tolerance violation accepted")
+	} else if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("violation error does not name the metric: %v", err)
+	}
+	if err := Monotone("dup", []float64{1, 1}, []float64{1, 2}, NonDecreasing, 0); err == nil {
+		t.Error("non-increasing knobs accepted")
+	}
+	if err := Monotone("short", []float64{1}, []float64{1}, NonDecreasing, 0); err == nil {
+		t.Error("single point accepted")
+	}
+	if err := Monotone("mismatch", []float64{1, 2}, []float64{1}, NonDecreasing, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCheckersRejectViolations(t *testing.T) {
+	// A hand-built violation for each checker, proving they can fail (the
+	// per-package property tests prove the real code passes them).
+	s := timeseries.MustNew(time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC), time.Minute, 10)
+	for i := range s.Values {
+		s.Values[i] = float64(i)
+	}
+	if err := EnergyConservedUnderResample(s, 7*time.Second); err == nil {
+		t.Error("invalid resample target accepted")
+	}
+	if err := WindowsPartition(s, 7*time.Second); err == nil {
+		t.Error("invalid window width accepted")
+	}
+	if err := BillingConservesEnergy(s, -1); err == nil {
+		t.Error("impossible billing tolerance accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Package suite holds the invariant checkers that depend on the experiments
+// registry. They live apart from the core invariant package so defense
+// packages (which experiments imports) can use the core checkers in their
+// own tests without an import cycle.
+package suite
+
+import (
+	"context"
+	"fmt"
+
+	"privmem/internal/experiments"
+)
+
+// RunAllDeterministic checks the suite-determinism law: RunAll renders
+// bit-identical reports for the same (ids, opts) regardless of worker count.
+// The first worker count is the reference; every other count must reproduce
+// its rendered bytes exactly. Errors must also agree: a configuration that
+// fails under one worker count and succeeds under another is a scheduling
+// dependence, which the law forbids.
+func RunAllDeterministic(ids []string, opts experiments.Options, workerCounts []int) error {
+	if len(workerCounts) < 2 {
+		return fmt.Errorf("invariant: need at least 2 worker counts, got %d", len(workerCounts))
+	}
+	type rendered struct {
+		bodies []string
+		errStr string
+	}
+	render := func(workers int) (rendered, error) {
+		reports, err := experiments.RunAll(context.Background(), ids, opts,
+			experiments.RunAllOptions{Workers: workers})
+		out := rendered{bodies: make([]string, len(reports))}
+		if err != nil {
+			out.errStr = err.Error()
+		}
+		for i, r := range reports {
+			if r != nil {
+				out.bodies[i] = r.Render()
+			}
+		}
+		return out, nil
+	}
+	ref, err := render(workerCounts[0])
+	if err != nil {
+		return err
+	}
+	for _, workers := range workerCounts[1:] {
+		got, err := render(workers)
+		if err != nil {
+			return err
+		}
+		if got.errStr != ref.errStr {
+			return fmt.Errorf("invariant: RunAll error differs: %d workers -> %q, %d workers -> %q",
+				workerCounts[0], ref.errStr, workers, got.errStr)
+		}
+		for i := range ref.bodies {
+			if got.bodies[i] != ref.bodies[i] {
+				return fmt.Errorf("invariant: RunAll(%s, seed=%d) not bit-identical between %d and %d workers",
+					ids[i], opts.Seed, workerCounts[0], workers)
+			}
+		}
+	}
+	return nil
+}

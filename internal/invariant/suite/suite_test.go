@@ -1,0 +1,13 @@
+package suite
+
+import (
+	"testing"
+
+	"privmem/internal/experiments"
+)
+
+func TestRunAllDeterministicRejectsSingleWorkerCount(t *testing.T) {
+	if err := RunAllDeterministic(nil, experiments.Options{}, []int{1}); err == nil {
+		t.Error("single worker count accepted: nothing to compare against")
+	}
+}

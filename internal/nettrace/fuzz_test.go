@@ -1,0 +1,70 @@
+package nettrace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReadCapture feeds arbitrary bytes to the capture decoder. The decoder
+// must never panic or allocate unboundedly; on rejection it returns an
+// error, and on acceptance the decoded capture must survive a semantic
+// re-encode/re-decode round trip.
+func FuzzReadCapture(f *testing.F) {
+	// A real (tiny) capture as the structured seed.
+	small := &Capture{
+		Start: time.Unix(0, 0).UTC(),
+		End:   time.Unix(3600, 0).UTC(),
+		Devices: []Device{
+			{Name: "hub-01", Class: ClassHub},
+			{Name: "cam-01", Class: ClassCamera},
+		},
+		Records: []FlowRecord{
+			{Time: time.Unix(1, 0).UTC(), Device: "hub-01", Endpoint: "cloud.example", BytesUp: 120, BytesDown: 800},
+			{Time: time.Unix(2, 500).UTC(), Device: "cam-01", Endpoint: "cdn.example", BytesUp: 9000, BytesDown: 40},
+		},
+	}
+	var buf bytes.Buffer
+	if _, err := small.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("not a capture at all"))
+	f.Add([]byte(captureMagic + "\x01\x02\x03\x04\x05\x06\x07\x08")) // truncated header
+	f.Add(header(0xFFFFFFFF))                                       // hostile device count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCapture(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: any error is fine, panics are not
+		}
+		// Accepted input: re-encoding must succeed and round-trip.
+		var out bytes.Buffer
+		if _, err := c.WriteTo(&out); err != nil {
+			t.Fatalf("accepted capture failed to re-encode: %v", err)
+		}
+		c2, err := ReadCapture(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded capture rejected: %v", err)
+		}
+		if !c2.Start.Equal(c.Start) || !c2.End.Equal(c.End) {
+			t.Fatalf("span changed: %v-%v vs %v-%v", c2.Start, c2.End, c.Start, c.End)
+		}
+		if len(c2.Devices) != len(c.Devices) || len(c2.Records) != len(c.Records) {
+			t.Fatalf("sizes changed: %d/%d devices, %d/%d records",
+				len(c2.Devices), len(c.Devices), len(c2.Records), len(c.Records))
+		}
+		for i := range c.Devices {
+			if c2.Devices[i] != c.Devices[i] {
+				t.Fatalf("device %d changed: %+v vs %+v", i, c2.Devices[i], c.Devices[i])
+			}
+		}
+		for i := range c.Records {
+			a, b := c.Records[i], c2.Records[i]
+			if !a.Time.Equal(b.Time) || a.Device != b.Device || a.Endpoint != b.Endpoint ||
+				a.BytesUp != b.BytesUp || a.BytesDown != b.BytesDown {
+				t.Fatalf("record %d changed: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

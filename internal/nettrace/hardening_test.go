@@ -1,0 +1,106 @@
+package nettrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// header builds the fixed-size capture prefix: magic, start/end nanos, and
+// the device count, the minimum a hostile stream needs to reach the
+// untrusted length fields.
+func header(devCount uint32) []byte {
+	var b bytes.Buffer
+	b.WriteString(captureMagic)
+	var u64 [8]byte
+	b.Write(u64[:]) // start = 0
+	b.Write(u64[:]) // end = 0
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], devCount)
+	b.Write(u32[:])
+	return b.Bytes()
+}
+
+// TestReadCaptureTruncatedHeaderIsBadFormat is the regression test for the
+// crafted 16-byte input: a valid magic followed by half a header. Before
+// hardening this surfaced as a bare io.EOF; the decoder must classify any
+// truncation after the magic as ErrBadFormat.
+func TestReadCaptureTruncatedHeaderIsBadFormat(t *testing.T) {
+	crafted := []byte(captureMagic + "\x01\x02\x03\x04\x05\x06\x07\x08") // 16 bytes
+	if len(crafted) != 16 {
+		t.Fatalf("crafted input is %d bytes, want 16", len(crafted))
+	}
+	_, err := ReadCapture(bytes.NewReader(crafted))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Errorf("16-byte crafted input: err = %v, want ErrBadFormat", err)
+	}
+}
+
+// TestReadCaptureHostileDeviceCount: a header claiming ~4 billion devices
+// must be rejected as ErrBadFormat without attempting the allocation.
+func TestReadCaptureHostileDeviceCount(t *testing.T) {
+	for _, count := range []uint32{maxCaptureDevices + 1, 0xFFFFFFFF} {
+		_, err := ReadCapture(bytes.NewReader(header(count)))
+		if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("deviceCount=%d: err = %v, want ErrBadFormat", count, err)
+		}
+	}
+}
+
+// TestReadCaptureHostileRecordCount: same for the record count, both past
+// the hard bound (rejected from the header alone) and just under it (the
+// preallocation must be capped, so the decoder fails on missing bytes —
+// still ErrBadFormat — instead of reserving gigabytes).
+func TestReadCaptureHostileRecordCount(t *testing.T) {
+	build := func(recCount uint32) []byte {
+		b := header(0) // zero devices
+		var u32 [4]byte
+		binary.LittleEndian.PutUint32(u32[:], recCount)
+		return append(b, u32[:]...)
+	}
+	for _, count := range []uint32{maxCaptureRecords + 1, 0xFFFFFFFF} {
+		_, err := ReadCapture(bytes.NewReader(build(count)))
+		if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("recordCount=%d: err = %v, want ErrBadFormat", count, err)
+		}
+	}
+	// In-bounds but absurd claim with no payload: capped prealloc, then
+	// truncation -> ErrBadFormat. This must return quickly and small.
+	_, err := ReadCapture(bytes.NewReader(build(maxCaptureRecords)))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Errorf("recordCount=%d with empty body: err = %v, want ErrBadFormat", maxCaptureRecords, err)
+	}
+}
+
+// TestReadCaptureTruncationIsBadFormat strengthens the legacy truncation
+// test: every cut of a real capture now classifies as ErrBadFormat.
+func TestReadCaptureTruncationIsBadFormat(t *testing.T) {
+	cfg := DefaultConfig(15)
+	cfg.Days = 1
+	cfg.Counts = map[Class]int{ClassHub: 1}
+	orig, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Exhaustive near the header (every boundary type), sampled beyond it.
+	cuts := make([]int, 0, 160)
+	for cut := len(captureMagic); cut < min(len(full), 64); cut++ {
+		cuts = append(cuts, cut)
+	}
+	stride := max((len(full)-64)/64, 1)
+	for cut := 64; cut < len(full); cut += stride {
+		cuts = append(cuts, cut)
+	}
+	cuts = append(cuts, len(full)-1)
+	for _, cut := range cuts {
+		if _, err := ReadCapture(bytes.NewReader(full[:cut])); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("truncation at %d/%d bytes: err = %v, want ErrBadFormat", cut, len(full), err)
+		}
+	}
+}

@@ -111,11 +111,36 @@ func (c *Capture) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// maxCaptureEntities bounds device and record counts on read, guarding
-// against corrupt headers allocating unbounded memory.
-const maxCaptureEntities = 100_000_000
+// maxCaptureDevices and maxCaptureRecords bound the header counts on read,
+// guarding against hostile or corrupt headers allocating unbounded memory.
+// The device bound is deliberately much tighter: a home capture has tens of
+// devices, and each claimed device costs at least three bytes of stream, so
+// a count beyond 2^20 is always a forged header rather than real data.
+const (
+	maxCaptureDevices = 1 << 20
+	maxCaptureRecords = 100_000_000
+)
 
-// ReadCapture deserializes a capture written by WriteTo.
+// preallocCap limits slice capacity reserved up front from untrusted counts.
+// A hostile header may claim counts up to the maxima above; allocation past
+// this cap only happens incrementally, as actual stream bytes arrive.
+const preallocCap = 1 << 16
+
+// badEOF converts truncation errors into ErrBadFormat. Once the magic has
+// matched, the stream has claimed to be a capture: running out of bytes in
+// the middle of a field is a format violation, not a clean end of input.
+func badEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: truncated capture (%v)", ErrBadFormat, err)
+	}
+	return err
+}
+
+// ReadCapture deserializes a capture written by WriteTo. The decoder treats
+// the stream as untrusted: header counts are bounded (ErrBadFormat beyond
+// maxCaptureDevices/maxCaptureRecords), slice capacity is reserved only up
+// to preallocCap regardless of claimed counts, and truncation after a valid
+// magic reports ErrBadFormat.
 func ReadCapture(r io.Reader) (*Capture, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(captureMagic))
@@ -128,25 +153,25 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 	readU64 := func() (uint64, error) {
 		var buf [8]byte
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return 0, err
+			return 0, badEOF(err)
 		}
 		return binary.LittleEndian.Uint64(buf[:]), nil
 	}
 	readU32 := func() (uint32, error) {
 		var buf [4]byte
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return 0, err
+			return 0, badEOF(err)
 		}
 		return binary.LittleEndian.Uint32(buf[:]), nil
 	}
 	readStr := func() (string, error) {
 		var buf [2]byte
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return "", err
+			return "", badEOF(err)
 		}
 		b := make([]byte, binary.LittleEndian.Uint16(buf[:]))
 		if _, err := io.ReadFull(br, b); err != nil {
-			return "", err
+			return "", badEOF(err)
 		}
 		return string(b), nil
 	}
@@ -167,9 +192,10 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nettrace read: %w", err)
 	}
-	if nDev > maxCaptureEntities {
-		return nil, fmt.Errorf("%w: %d devices", ErrBadFormat, nDev)
+	if nDev > maxCaptureDevices {
+		return nil, fmt.Errorf("%w: header claims %d devices (max %d)", ErrBadFormat, nDev, maxCaptureDevices)
 	}
+	cap.Devices = make([]Device, 0, min(int(nDev), preallocCap))
 	for i := uint32(0); i < nDev; i++ {
 		name, err := readStr()
 		if err != nil {
@@ -177,7 +203,7 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 		}
 		classByte, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("nettrace read: device %d: %w", i, err)
+			return nil, fmt.Errorf("nettrace read: device %d: %w", i, badEOF(err))
 		}
 		cap.Devices = append(cap.Devices, Device{Name: name, Class: Class(classByte)})
 	}
@@ -185,10 +211,10 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nettrace read: %w", err)
 	}
-	if nRec > maxCaptureEntities {
-		return nil, fmt.Errorf("%w: %d records", ErrBadFormat, nRec)
+	if nRec > maxCaptureRecords {
+		return nil, fmt.Errorf("%w: header claims %d records (max %d)", ErrBadFormat, nRec, maxCaptureRecords)
 	}
-	cap.Records = make([]FlowRecord, 0, min(int(nRec), 1<<20))
+	cap.Records = make([]FlowRecord, 0, min(int(nRec), preallocCap))
 	for i := uint32(0); i < nRec; i++ {
 		tNs, err := readU64()
 		if err != nil {

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privmem/internal/experiments"
+)
+
+// decodeJSONError asserts the canonical error shape {"error":..., "status":...}.
+func decodeJSONError(t *testing.T, body []byte, wantStatus int) string {
+	t.Helper()
+	var e struct {
+		Error  string `json:"error"`
+		Status int    `json:"status"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body is not the JSON error shape: %v\n%s", err, body)
+	}
+	if e.Status != wantStatus || e.Error == "" {
+		t.Fatalf("error shape = %+v, want status %d and non-empty error", e, wantStatus)
+	}
+	return e.Error
+}
+
+// TestChaosGenerateError injects a one-shot backend failure: the request
+// gets a JSON 500, the failure is counted but never cached, and the next
+// identical request regenerates successfully.
+func TestChaosGenerateError(t *testing.T) {
+	injected := errors.New("injected backend failure")
+	var calls atomic.Int64
+	f := &fakeRun{}
+	s, h := newTestServer(t, Config{Run: f.run, Faults: &Faults{
+		GenerateErr: func(id string) error {
+			if calls.Add(1) == 1 {
+				return injected
+			}
+			return nil
+		},
+	}})
+
+	rec := get(t, h, "/v1/report/f1?seed=3")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("faulted request = %d, want 500", rec.Code)
+	}
+	decodeJSONError(t, rec.Body.Bytes(), http.StatusInternalServerError)
+	m := s.Metrics()
+	if m.GenerationErrors.Load() != 1 || m.Generations.Load() != 0 {
+		t.Errorf("gen errors/generations = %d/%d, want 1/0", m.GenerationErrors.Load(), m.Generations.Load())
+	}
+
+	// The failure must not be cached: the retry is a miss that generates.
+	rec = get(t, h, "/v1/report/f1?seed=3")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Memoird-Cache") != "miss" {
+		t.Fatalf("retry = %d/%q, want 200/miss", rec.Code, rec.Header().Get("X-Memoird-Cache"))
+	}
+	if f.invocations.Load() != 1 || m.Generations.Load() != 1 {
+		t.Errorf("retry ran %d simulations (generations %d), want 1", f.invocations.Load(), m.Generations.Load())
+	}
+}
+
+// TestChaosStallTimeout stalls generation far past the request budget:
+// every concurrent identical request — the stalled leader and its coalesced
+// followers — times out with a JSON 504, and the simulation never runs.
+func TestChaosStallTimeout(t *testing.T) {
+	f := &fakeRun{}
+	s, h := newTestServer(t, Config{
+		Run:     f.run,
+		Timeout: 40 * time.Millisecond,
+		Faults:  &Faults{Stall: func(id string) time.Duration { return 10 * time.Second }},
+	})
+
+	const clients = 4
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := get(t, h, "/v1/report/t1?seed=8")
+			codes[i] = rec.Code
+			if rec.Code == http.StatusGatewayTimeout {
+				decodeJSONError(t, rec.Body.Bytes(), http.StatusGatewayTimeout)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusGatewayTimeout {
+			t.Errorf("request %d = %d, want 504", i, code)
+		}
+	}
+	if f.invocations.Load() != 0 {
+		t.Errorf("stalled generation still ran %d simulations", f.invocations.Load())
+	}
+	if got := s.Metrics().Timeouts.Load(); got < 1 {
+		t.Errorf("timeouts = %d, want >= 1", got)
+	}
+}
+
+// TestChaosStallWithinBudget proves a stall shorter than the budget only
+// delays the response: the request still succeeds and populates the cache.
+func TestChaosStallWithinBudget(t *testing.T) {
+	f := &fakeRun{}
+	_, h := newTestServer(t, Config{
+		Run:     f.run,
+		Timeout: 5 * time.Second,
+		Faults:  &Faults{Stall: func(id string) time.Duration { return 20 * time.Millisecond }},
+	})
+	if rec := get(t, h, "/v1/report/f1?seed=2"); rec.Code != http.StatusOK {
+		t.Fatalf("stalled-but-in-budget request = %d, want 200", rec.Code)
+	}
+	if rec := get(t, h, "/v1/report/f1?seed=2"); rec.Header().Get("X-Memoird-Cache") != "hit" {
+		t.Errorf("second request source = %q, want hit", rec.Header().Get("X-Memoird-Cache"))
+	}
+}
+
+// TestChaosPanicRecovery panics inside the generation path (injected
+// fault): the request gets a JSON 500 naming the panic, the panic and
+// generation-error counters increment, and the server keeps serving.
+func TestChaosPanicRecovery(t *testing.T) {
+	var calls atomic.Int64
+	f := &fakeRun{}
+	s, h := newTestServer(t, Config{Run: f.run, Faults: &Faults{
+		Panic: func(id string) bool { return calls.Add(1) == 1 },
+	}})
+
+	rec := get(t, h, "/v1/report/t6?seed=4")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicked request = %d, want 500", rec.Code)
+	}
+	msg := decodeJSONError(t, rec.Body.Bytes(), http.StatusInternalServerError)
+	if !strings.Contains(msg, "panic") {
+		t.Errorf("error message %q does not name the panic", msg)
+	}
+	m := s.Metrics()
+	if m.Panics.Load() != 1 || m.GenerationErrors.Load() != 1 {
+		t.Errorf("panics/genErrors = %d/%d, want 1/1", m.Panics.Load(), m.GenerationErrors.Load())
+	}
+
+	// The daemon survived: the same request now succeeds.
+	if rec := get(t, h, "/v1/report/t6?seed=4"); rec.Code != http.StatusOK {
+		t.Fatalf("post-panic request = %d, want 200 (server must survive)", rec.Code)
+	}
+}
+
+// TestChaosPanickingRunFunc covers the other panic origin: a RunFunc that
+// panics in the serving goroutine itself (no fault injection involved).
+func TestChaosPanickingRunFunc(t *testing.T) {
+	var calls atomic.Int64
+	run := func(ctx context.Context, id string, opts experiments.Options) (*experiments.Report, error) {
+		if calls.Add(1) == 1 {
+			panic(fmt.Sprintf("bad generator for %s", id))
+		}
+		return &experiments.Report{ID: id, Title: "ok"}, nil
+	}
+	s, h := newTestServer(t, Config{Run: run})
+	rec := get(t, h, "/v1/report/f2?seed=1")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicked RunFunc = %d, want 500", rec.Code)
+	}
+	if s.Metrics().Panics.Load() != 1 {
+		t.Errorf("panics = %d, want 1", s.Metrics().Panics.Load())
+	}
+	if rec := get(t, h, "/v1/report/f2?seed=1"); rec.Code != http.StatusOK {
+		t.Fatalf("post-panic request = %d, want 200", rec.Code)
+	}
+}
+
+// TestChaosExperimentsPanicErrorCounted: a RunFunc that reports a panic the
+// experiments layer already contained (experiments.ErrPanic) is counted in
+// the same panic metric.
+func TestChaosExperimentsPanicErrorCounted(t *testing.T) {
+	run := func(ctx context.Context, id string, opts experiments.Options) (*experiments.Report, error) {
+		return nil, fmt.Errorf("%w: boom", experiments.ErrPanic)
+	}
+	s, h := newTestServer(t, Config{Run: run})
+	if rec := get(t, h, "/v1/report/f1"); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if s.Metrics().Panics.Load() != 1 {
+		t.Errorf("panics = %d, want 1", s.Metrics().Panics.Load())
+	}
+}
+
+// TestChaosForcedEviction evicts each entry the moment it is cached: every
+// request is still served (from the just-generated entry), but nothing
+// survives in the cache, so identical requests keep regenerating.
+func TestChaosForcedEviction(t *testing.T) {
+	f := &fakeRun{}
+	s, h := newTestServer(t, Config{Run: f.run, Faults: &Faults{
+		EvictAfterPut: func(key string) bool { return true },
+	}})
+
+	for i := 0; i < 3; i++ {
+		rec := get(t, h, "/v1/report/f1?seed=6")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d = %d, want 200", i, rec.Code)
+		}
+		if src := rec.Header().Get("X-Memoird-Cache"); src != "miss" {
+			t.Errorf("request %d source = %q, want miss (entry force-evicted)", i, src)
+		}
+	}
+	m := s.Metrics()
+	if f.invocations.Load() != 3 || m.ForcedEvictions.Load() != 3 {
+		t.Errorf("invocations/evictions = %d/%d, want 3/3", f.invocations.Load(), m.ForcedEvictions.Load())
+	}
+	if s.cache.Len() != 0 {
+		t.Errorf("cache len = %d after forced evictions, want 0", s.cache.Len())
+	}
+}
+
+// TestChaosDrainUnderStall initiates graceful shutdown while a stalled
+// request is in flight: Shutdown must wait out the stall and the request
+// must complete successfully.
+func TestChaosDrainUnderStall(t *testing.T) {
+	var stalled atomic.Bool
+	f := &fakeRun{}
+	_, h := newTestServer(t, Config{
+		Run:     f.run,
+		Timeout: 10 * time.Second,
+		Faults: &Faults{Stall: func(id string) time.Duration {
+			stalled.Store(true)
+			return 150 * time.Millisecond
+		}},
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: h}
+	go httpSrv.Serve(ln)
+
+	type result struct {
+		status int
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/v1/report/f1")
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resc <- result{status: resp.StatusCode}
+	}()
+
+	for !stalled.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	res := <-resc
+	if res.err != nil || res.status != http.StatusOK {
+		t.Fatalf("drained stalled request = %d/%v, want 200", res.status, res.err)
+	}
+}
+
+// TestErrorShapeOnClientErrors pins the JSON error shape on the 4xx paths
+// (the chaos 5xx paths are covered above).
+func TestErrorShapeOnClientErrors(t *testing.T) {
+	f := &fakeRun{}
+	_, h := newTestServer(t, Config{Run: f.run})
+	rec := get(t, h, "/v1/report/zz")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown id = %d", rec.Code)
+	}
+	decodeJSONError(t, rec.Body.Bytes(), http.StatusNotFound)
+	rec = get(t, h, "/v1/report/f1?seed=banana")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad seed = %d", rec.Code)
+	}
+	decodeJSONError(t, rec.Body.Bytes(), http.StatusBadRequest)
+}

@@ -1,0 +1,46 @@
+package serve
+
+import "time"
+
+// Faults injects failures into the server's generation path for chaos
+// testing: the serve tests use it to prove coalescing, timeouts, metrics,
+// and graceful drain hold when generation fails, stalls, or panics. Each
+// hook is consulted only when non-nil; the zero value injects nothing and
+// is the production configuration.
+//
+// Hooks run on the worker pool and must be safe for concurrent use.
+type Faults struct {
+	// GenerateErr is consulted once a worker slot is held, in place of the
+	// real generation; a non-nil result aborts the generation with that
+	// error (counted as a generation error, served as 500).
+	GenerateErr func(id string) error
+	// Stall delays generation by the returned duration. The stall honors
+	// the request context, so a stall past the request budget surfaces as
+	// the usual 504 timeout — the "slow backend" chaos case.
+	Stall func(id string) time.Duration
+	// Panic, when it returns true, panics inside the generation call,
+	// exercising the server's containment: the request gets a 500, the
+	// panic counter increments, and the daemon keeps serving.
+	Panic func(id string) bool
+	// EvictAfterPut, when it returns true, forcibly evicts the entry that
+	// was just cached, simulating cache pressure racing a generation: the
+	// current request is still served from the generated entry, but the
+	// next identical request must miss and regenerate.
+	EvictAfterPut func(key string) bool
+}
+
+// stallFor sleeps for d or until ctx is done, reporting whether the full
+// stall elapsed.
+func (s *Server) stallFor(d time.Duration, done <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}

@@ -29,6 +29,12 @@ type Metrics struct {
 	GenerationErrors atomic.Int64
 	// Timeouts counts requests that exceeded their generation budget (504s).
 	Timeouts atomic.Int64
+	// Panics counts generator panics contained by the server (each also
+	// counts as a GenerationError).
+	Panics atomic.Int64
+	// ForcedEvictions counts cache entries evicted by the injected
+	// EvictAfterPut fault (zero in production).
+	ForcedEvictions atomic.Int64
 	// NotFound counts requests naming unknown experiment ids (404s).
 	NotFound atomic.Int64
 	// InFlight gauges requests currently being handled.
@@ -56,6 +62,8 @@ func (m *Metrics) WriteText(w io.Writer) {
 		{"memoird_generations_total", &m.Generations},
 		{"memoird_generation_errors_total", &m.GenerationErrors},
 		{"memoird_timeouts_total", &m.Timeouts},
+		{"memoird_generator_panics_total", &m.Panics},
+		{"memoird_forced_evictions_total", &m.ForcedEvictions},
 		{"memoird_not_found_total", &m.NotFound},
 		{"memoird_inflight", &m.InFlight},
 		{"memoird_generations_inflight", &m.GenInFlight},

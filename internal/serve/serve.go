@@ -33,6 +33,11 @@ import (
 // tests can substitute deterministic fakes.
 type RunFunc func(ctx context.Context, id string, opts experiments.Options) (*experiments.Report, error)
 
+// ErrGeneratorPanic indicates a report generator panicked. The panic is
+// contained by the server (the daemon keeps serving; the request gets a
+// 500) and counted in Metrics.Panics.
+var ErrGeneratorPanic = errors.New("serve: generator panicked")
+
 // DefaultRun generates reports exactly as a RunAll suite would: with the
 // per-experiment derived seed, so served reports match cmd/figures output
 // for the same base seed.
@@ -52,6 +57,10 @@ type Config struct {
 	Timeout time.Duration
 	// CacheEntries bounds the report cache; values below 1 select 256.
 	CacheEntries int
+	// Faults, when non-nil, injects failures into the generation path.
+	// Production daemons leave it nil; chaos tests use it to prove the
+	// server degrades gracefully.
+	Faults *Faults
 }
 
 // Server is the memoird HTTP service. Create with New, mount via Handler.
@@ -63,6 +72,7 @@ type Server struct {
 	timeout time.Duration
 	metrics Metrics
 	known   map[string]bool
+	faults  *Faults
 }
 
 // New returns a Server ready to serve requests.
@@ -85,6 +95,7 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		timeout: cfg.Timeout,
 		known:   make(map[string]bool),
+		faults:  cfg.Faults,
 	}
 	for _, id := range experiments.AllIDs() {
 		s.known[id] = true
@@ -105,6 +116,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.instrument(s.handleExperiments))
 	mux.HandleFunc("GET /v1/report/{id}", s.instrument(s.handleReport))
 	mux.HandleFunc("POST /v1/suite", s.instrument(s.handleSuite))
+	// Fallback: unknown routes get the same JSON error shape as every other
+	// error response, instead of the mux's plain-text 404.
+	mux.HandleFunc("/", s.instrument(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.NotFound.Add(1)
+		s.httpError(w, http.StatusNotFound, fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
+	}))
 	return mux
 }
 
@@ -168,12 +185,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.known[id] {
 		s.metrics.NotFound.Add(1)
-		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
+		s.httpError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", id))
 		return
 	}
 	opts, err := parseReportOptions(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
@@ -201,7 +218,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	// An empty body (io.EOF) selects the all-defaults suite.
 	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	ids := req.IDs
@@ -211,7 +228,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	for _, id := range ids {
 		if !s.known[id] {
 			s.metrics.NotFound.Add(1)
-			http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
+			s.httpError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", id))
 			return
 		}
 	}
@@ -279,8 +296,21 @@ func (s *Server) getOrGenerate(ctx context.Context, id string, opts experiments.
 			return nil, err
 		}
 		defer s.release()
+		if f := s.faults; f != nil {
+			if f.Stall != nil {
+				if !s.stallFor(f.Stall(id), ctx.Done()) {
+					return nil, ctx.Err()
+				}
+			}
+			if f.GenerateErr != nil {
+				if err := f.GenerateErr(id); err != nil {
+					s.metrics.GenerationErrors.Add(1)
+					return nil, err
+				}
+			}
+		}
 		s.metrics.Generations.Add(1)
-		rep, err := s.run(ctx, id, opts)
+		rep, err := s.generate(ctx, id, opts)
 		if err != nil {
 			s.metrics.GenerationErrors.Add(1)
 			return nil, err
@@ -290,6 +320,11 @@ func (s *Server) getOrGenerate(ctx context.Context, id string, opts experiments.
 			return nil, err
 		}
 		s.cache.Put(e)
+		if f := s.faults; f != nil && f.EvictAfterPut != nil && f.EvictAfterPut(key) {
+			if s.cache.Delete(key) {
+				s.metrics.ForcedEvictions.Add(1)
+			}
+		}
 		return e, nil
 	})
 	source := "miss"
@@ -298,6 +333,28 @@ func (s *Server) getOrGenerate(ctx context.Context, id string, opts experiments.
 		source = "coalesced"
 	}
 	return e, source, err
+}
+
+// generate calls the RunFunc with panic containment: a panicking generator
+// (from a bad experiment, a substituted RunFunc, or the injected Panic
+// fault) becomes ErrGeneratorPanic instead of tearing down the daemon.
+// Panics contained downstream by experiments.RunContext arrive as
+// experiments.ErrPanic errors and are counted the same way.
+func (s *Server) generate(ctx context.Context, id string, opts experiments.Options) (rep *experiments.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.Panics.Add(1)
+			rep, err = nil, fmt.Errorf("%w: %v", ErrGeneratorPanic, r)
+		}
+	}()
+	if f := s.faults; f != nil && f.Panic != nil && f.Panic(id) {
+		panic("injected generator panic")
+	}
+	rep, err = s.run(ctx, id, opts)
+	if err != nil && errors.Is(err, experiments.ErrPanic) {
+		s.metrics.Panics.Add(1)
+	}
+	return rep, err
 }
 
 // acquire takes a worker-pool slot, abandoning the wait when ctx expires.
@@ -331,18 +388,25 @@ func (s *Server) writeEntry(w http.ResponseWriter, r *http.Request, e *Entry, so
 
 // writeError maps generation failures onto HTTP statuses: expired budgets
 // are 504, unknown experiments 404 (reachable via RunFunc substitutes),
-// anything else 500.
+// anything else — including contained generator panics — 500.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		s.metrics.Timeouts.Add(1)
-		http.Error(w, "report generation timed out", http.StatusGatewayTimeout)
+		s.httpError(w, http.StatusGatewayTimeout, "report generation timed out")
 	case errors.Is(err, experiments.ErrUnknown):
 		s.metrics.NotFound.Add(1)
-		http.Error(w, err.Error(), http.StatusNotFound)
+		s.httpError(w, http.StatusNotFound, err.Error())
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.httpError(w, http.StatusInternalServerError, err.Error())
 	}
+}
+
+// httpError writes the service's canonical JSON error shape. Every error
+// response — 400, 404, 500, 504 — carries {"error": ..., "status": ...} so
+// programmatic clients never parse free-form text.
+func (s *Server) httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "status": status})
 }
 
 // newEntry renders a report once into both served encodings.

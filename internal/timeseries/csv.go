@@ -78,8 +78,11 @@ func ReadCSV(r io.Reader) (*Series, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("timeseries csv: %w: non-increasing timestamps", ErrBadStep)
 	}
+	// Uniformity is checked by reconstruction (Add) rather than by comparing
+	// Sub results: Sub saturates at ±292 years, so two huge gaps would
+	// compare equal even when they differ, silently corrupting the step.
 	for i := 1; i < len(times); i++ {
-		if times[i].Sub(times[i-1]) != step {
+		if !times[i].Equal(times[i-1].Add(step)) {
 			return nil, fmt.Errorf("timeseries csv: row %d: non-uniform step (%v vs %v)",
 				i+1, times[i].Sub(times[i-1]), step)
 		}

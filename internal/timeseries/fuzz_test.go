@@ -1,0 +1,76 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadCSVRejectsSaturatingStep is the regression test for the Sub
+// saturation bug found by FuzzReadCSV: time.Time.Sub caps at ±292 years, so
+// a two-row CSV spanning more than that used to be accepted with a silently
+// corrupted step. The Add-based uniformity check rejects it.
+func TestReadCSVRejectsSaturatingStep(t *testing.T) {
+	csv := "timestamp,value\n0001-01-01T00:00:00Z,1\n9999-01-01T00:00:00Z,2\n"
+	if _, err := ReadCSV(strings.NewReader(csv)); err == nil {
+		t.Fatal("ReadCSV accepted a span that saturates time.Duration")
+	}
+	// Same shape with three rows and unequal huge gaps: both gaps saturate
+	// to the same duration, so a Sub-based comparison cannot tell them apart.
+	csv = "timestamp,value\n0001-01-01T00:00:00Z,1\n5000-01-01T00:00:00Z,2\n9999-06-01T00:00:00Z,3\n"
+	if _, err := ReadCSV(strings.NewReader(csv)); err == nil {
+		t.Fatal("ReadCSV accepted non-uniform saturating gaps")
+	}
+}
+
+// FuzzReadCSV feeds arbitrary text to the CSV reader. The reader must never
+// panic; any accepted input must yield a well-formed series that survives a
+// WriteCSV/ReadCSV round trip whenever the series is representable in the
+// CSV's RFC 3339 timestamp column (whole seconds).
+func FuzzReadCSV(f *testing.F) {
+	s := MustNew(time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC), time.Minute, 3)
+	s.Values = []float64{0, 1.5, -2.25e-3}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("timestamp,value\n2017-06-05T00:00:00Z,1\n")
+	f.Add("timestamp,value\n0001-01-01T00:00:00Z,1\n9999-01-01T00:00:00Z,2\n")
+	f.Add("timestamp,value\n2017-06-05T00:00:00+05:00,NaN\n2017-06-05T00:00:01+05:00,+Inf\n")
+	f.Add("not,a,series\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return // rejected input: any error is fine, panics are not
+		}
+		if s.Len() == 0 || s.Step <= 0 || len(s.Values) != s.Len() {
+			t.Fatalf("accepted series is malformed: len=%d step=%v", s.Len(), s.Step)
+		}
+		// RFC 3339 (without fractional seconds) cannot represent sub-second
+		// starts or steps; such series parse fine but cannot round-trip.
+		if s.Start.Nanosecond() != 0 || s.Step%time.Second != 0 {
+			return
+		}
+		var out bytes.Buffer
+		if err := s.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted series failed to re-encode: %v", err)
+		}
+		s2, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-encoded series rejected: %v\n%s", err, out.String())
+		}
+		if !s2.Start.Equal(s.Start) || s2.Step != s.Step || s2.Len() != s.Len() {
+			t.Fatalf("shape changed: start %v/%v step %v/%v len %d/%d",
+				s2.Start, s.Start, s2.Step, s.Step, s2.Len(), s.Len())
+		}
+		for i := range s.Values {
+			if math.Float64bits(s2.Values[i]) != math.Float64bits(s.Values[i]) {
+				t.Fatalf("value %d changed: %v -> %v", i, s.Values[i], s2.Values[i])
+			}
+		}
+	})
+}

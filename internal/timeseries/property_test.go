@@ -1,0 +1,89 @@
+// Property tests driving the invariant checkers over randomized series.
+// They live in the external test package because internal/invariant imports
+// timeseries.
+package timeseries_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"privmem/internal/invariant"
+	"privmem/internal/timeseries"
+)
+
+// TestPropEnergyConservedUnderResample: coarsening to any multiple of the
+// step — including factors that leave a partial tail bucket — and refining
+// to any divisor conserve Energy() exactly.
+func TestPropEnergyConservedUnderResample(t *testing.T) {
+	invariant.Check(t, 42, 60, func(rng *rand.Rand, i int) error {
+		s := invariant.RandomSeries(rng, invariant.SeriesSpec{
+			MinLen: 1, MaxLen: 500,
+			Steps: []time.Duration{time.Second, 20 * time.Second, time.Minute, 5 * time.Minute},
+		})
+		// Coarsen by a random factor (often not dividing the length).
+		k := invariant.CoarsenFactors(rng, 40)
+		if err := invariant.EnergyConservedUnderResample(s, time.Duration(k)*s.Step); err != nil {
+			return err
+		}
+		// Refine by a divisor of the step.
+		divisors := []time.Duration{}
+		for _, d := range []time.Duration{time.Second, 5 * time.Second, 10 * time.Second, 30 * time.Second} {
+			if d < s.Step && s.Step%d == 0 {
+				divisors = append(divisors, d)
+			}
+		}
+		if len(divisors) == 0 {
+			return nil
+		}
+		return invariant.EnergyConservedUnderResample(s, divisors[rng.Intn(len(divisors))])
+	})
+}
+
+// TestPropIndexTimeRoundTrip: every instant inside a sample's half-open
+// interval maps back to that sample, and pre-start instants map negative.
+func TestPropIndexTimeRoundTrip(t *testing.T) {
+	invariant.Check(t, 43, 40, func(rng *rand.Rand, i int) error {
+		s := invariant.RandomSeries(rng, invariant.SeriesSpec{MinLen: 1, MaxLen: 200})
+		return invariant.IndexTimeRoundTrip(s)
+	})
+}
+
+// TestPropWindowsPartition: concatenated window stats reconstruct the
+// whole-series mean/min/max over the covered prefix, and a width that does
+// not divide the length drops only the trailing partial window.
+func TestPropWindowsPartition(t *testing.T) {
+	invariant.Check(t, 44, 60, func(rng *rand.Rand, i int) error {
+		s := invariant.RandomSeries(rng, invariant.SeriesSpec{
+			MinLen: 1, MaxLen: 400,
+			Steps: []time.Duration{time.Second, time.Minute, 15 * time.Minute},
+			MinV:  -2000, MaxV: 6000, // windows must partition negative (net-metered) traces too
+		})
+		k := invariant.CoarsenFactors(rng, 50)
+		return invariant.WindowsPartition(s, time.Duration(k)*s.Step)
+	})
+}
+
+// TestWindowsDropsOnlyTail pins the documented drop rule on a hand-built
+// case: 10 samples at width 3 yields 3 windows covering samples 0..8, and
+// sample 9 — only sample 9 — is dropped.
+func TestWindowsDropsOnlyTail(t *testing.T) {
+	s := timeseries.MustNew(time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC), time.Minute, 10)
+	for i := range s.Values {
+		s.Values[i] = float64(i)
+	}
+	stats, err := s.Windows(3 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("windows = %d, want 3", len(stats))
+	}
+	// The dropped tail is exactly the last sample: max over windows is 8.
+	if got := stats[len(stats)-1].Max; got != 8 {
+		t.Errorf("last window max = %v, want 8 (sample 9 must be dropped)", got)
+	}
+	if err := invariant.WindowsPartition(s, 3*time.Minute); err != nil {
+		t.Error(err)
+	}
+}

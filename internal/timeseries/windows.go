@@ -32,6 +32,14 @@ type WindowStat struct {
 // Windows partitions the series into consecutive non-overlapping windows of
 // the given duration and returns one WindowStat per full window. A window
 // duration that is not a multiple of the step is an error.
+//
+// When the width does not divide the series length, the trailing partial
+// window — the last Len() mod (width/Step) samples, fewer than one full
+// window — is dropped: window statistics are only meaningful over full
+// windows, and a shortened final window would bias detector thresholds.
+// Concatenated in order, the returned windows therefore reconstruct the
+// statistics of exactly the first len(result)*(width/Step) samples (the
+// partition law enforced by invariant.WindowsPartition).
 func (s *Series) Windows(width time.Duration) ([]WindowStat, error) {
 	if width <= 0 || width%s.Step != 0 {
 		return nil, fmt.Errorf("windows: width %v not a positive multiple of step %v: %w",
