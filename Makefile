@@ -15,9 +15,9 @@ COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve
 # longer local hunt, e.g. `make fuzz FUZZTIME=10m`.
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race short cover fuzz bench bench-serve figures smoke memoird
+.PHONY: check vet build test race short cover fuzz bench bench-serve bench-experiments bench-diff figures smoke memoird
 
-check: vet build race cover fuzz smoke
+check: vet build race cover fuzz smoke bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -63,6 +63,24 @@ bench:
 bench-serve:
 	$(GO) test -bench 'BenchmarkReportCache' -benchmem -run '^$$' ./internal/serve \
 		| $(GO) run ./cmd/benchjson > BENCH_serve.json
+
+# bench-experiments snapshots the per-experiment benchmarks (one per
+# reproduced figure/table plus the RunAll suite, with their headline-metric
+# columns) as BENCH_experiments.json — the harness's cross-PR performance
+# trajectory.
+bench-experiments:
+	$(GO) test -bench . -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson > BENCH_experiments.json
+
+# bench-diff re-runs the experiment benchmarks and compares against the
+# checked-in BENCH_experiments.json trajectory. It must use the same
+# benchtime as the snapshot: a -benchtime 1x run measures the cold
+# first-touch path (world builds included), which the warm steady-state
+# baseline would always flag. Warn-only (the leading "-"): timings are
+# noisy, so drift is surfaced in the log without failing the gate.
+bench-diff:
+	-$(GO) test -bench . -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -diff BENCH_experiments.json
 
 figures:
 	$(GO) run ./cmd/figures

@@ -4,29 +4,53 @@
 //	go test -bench BenchmarkReportCache -run '^$' ./internal/serve | benchjson > BENCH_serve.json
 //
 // Each object carries the benchmark name (with the -N GOMAXPROCS suffix),
-// iteration count, ns/op, and — when the benchmark reports them — B/op and
-// allocs/op. Non-benchmark lines (the goos/pkg preamble, PASS, ok) are
-// ignored, so raw `go test` output pipes straight through.
+// iteration count, ns/op, and — when the benchmark reports them — B/op,
+// allocs/op, and every custom b.ReportMetric column keyed by its unit.
+// Non-benchmark lines (the goos/pkg preamble, PASS, ok) are ignored, so raw
+// `go test` output pipes straight through.
+//
+// With -diff FILE, stdin is instead compared against the baseline JSON in
+// FILE: per-benchmark ns/op ratios are printed, plus warnings for large
+// regressions and for benchmarks that appear on only one side. Diff mode is
+// advisory — it always exits 0 unless the input cannot be parsed — so it can
+// gate nothing while still surfacing trajectory drift in CI logs.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// regressionWarnFactor is the ns/op growth beyond which diff mode flags a
+// benchmark. Generous on purpose: quick-scale timings are noisy and the
+// step is warn-only.
+const regressionWarnFactor = 1.25
+
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	diffBase := flag.String("diff", "",
+		"baseline JSON file; compare stdin's bench output against it instead of emitting JSON")
+	flag.Parse()
+	var err error
+	if *diffBase != "" {
+		err = runDiff(*diffBase, os.Stdin, os.Stdout)
+	} else {
+		err = run(os.Stdin, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
@@ -40,4 +64,57 @@ func run(in io.Reader, out io.Writer) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// runDiff compares fresh bench output (text, on in) against a baseline JSON
+// snapshot. Output is one line per benchmark; regressions and one-sided
+// benchmarks are prefixed "warn:".
+func runDiff(basePath string, in io.Reader, out io.Writer) error {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var base []Result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", basePath, err)
+	}
+	fresh, err := Parse(in)
+	if err != nil {
+		return err
+	}
+
+	baseByName := map[string]Result{}
+	for _, r := range base {
+		baseByName[r.Name] = r
+	}
+	seen := map[string]bool{}
+	for _, r := range fresh {
+		seen[r.Name] = true
+		old, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Fprintf(out, "warn: %s: not in baseline %s\n", r.Name, basePath)
+			continue
+		}
+		if old.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / old.NsPerOp
+		prefix := "  ok:"
+		if ratio > regressionWarnFactor {
+			prefix = "warn:"
+		}
+		fmt.Fprintf(out, "%s %s: %.4g ns/op vs baseline %.4g (%.2fx)\n",
+			prefix, r.Name, r.NsPerOp, old.NsPerOp, ratio)
+	}
+	missing := []string{}
+	for name := range baseByName {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(out, "warn: %s: in baseline but not in this run\n", name)
+	}
+	return nil
 }

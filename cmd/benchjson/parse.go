@@ -55,6 +55,19 @@ func Parse(r io.Reader) ([]Result, error) {
 					return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", line, err)
 				}
 				res.AllocsPerOp = &n
+			default:
+				// Any other unit is a custom b.ReportMetric column (e.g.
+				// "powerplay_wins", "speedup_vs_serial"). Preserve it: these
+				// carry the experiment's headline results, and dropping them
+				// would reduce the trajectory file to raw timings.
+				v, err := strconv.ParseFloat(value, 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchjson: bad %s value in %q: %w", unit, line, err)
+				}
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
 			}
 			rest = rest[2:]
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -55,6 +56,64 @@ func TestParseEmptyInputIsEmptyArray(t *testing.T) {
 	}
 }
 
+// metricSample is verbatim `go test -bench BenchmarkFigure2Disaggregation
+// -benchmem` output from this repo: three custom b.ReportMetric columns
+// interleaved with the standard timing and memory columns.
+const metricSample = `goos: linux
+goarch: amd64
+pkg: privmem
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure2Disaggregation 	       3	   1251812 ns/op	         1.199 fhmm_fridge	         0.3272 powerplay_fridge	         5.000 powerplay_wins	 1305314 B/op	    3437 allocs/op
+PASS
+ok  	privmem	0.558s
+`
+
+func TestParseKeepsCustomMetrics(t *testing.T) {
+	results, err := Parse(strings.NewReader(metricSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkFigure2Disaggregation" || r.Iterations != 3 || r.NsPerOp != 1251812 {
+		t.Errorf("timing fields = %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 1305314 || r.AllocsPerOp == nil || *r.AllocsPerOp != 3437 {
+		t.Errorf("mem stats = %v/%v", r.BytesPerOp, r.AllocsPerOp)
+	}
+	want := map[string]float64{"fhmm_fridge": 1.199, "powerplay_fridge": 0.3272, "powerplay_wins": 5}
+	if len(r.Metrics) != len(want) {
+		t.Fatalf("metrics = %v, want %v", r.Metrics, want)
+	}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseMetricsSurviveJSONRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(metricSample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(results) != 1 || results[0].Metrics["powerplay_wins"] != 5 {
+		t.Fatalf("round trip lost metrics: %s", out.String())
+	}
+}
+
+func TestParseRejectsMangledMetricValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBroken-8 10 1 ns/op junk my_metric\n")); err == nil {
+		t.Fatal("mangled metric value accepted")
+	}
+}
+
 func TestParseRejectsMangledBenchmarkLine(t *testing.T) {
 	if _, err := Parse(strings.NewReader("BenchmarkBroken-8 notanumber 1 ns/op\n")); err == nil {
 		t.Fatal("mangled benchmark line accepted")
@@ -73,4 +132,56 @@ func TestRunEmitsValidJSON(t *testing.T) {
 	if len(results) != 2 {
 		t.Fatalf("round-tripped %d results, want 2", len(results))
 	}
+}
+
+// TestRunDiff exercises the warn-only comparison mode: a fresh run against
+// a baseline with one regressed, one improved, one new, and one removed
+// benchmark.
+func TestRunDiff(t *testing.T) {
+	base := `[
+  {"name": "BenchmarkStable-8", "iterations": 100, "ns_per_op": 1000},
+  {"name": "BenchmarkRegressed-8", "iterations": 100, "ns_per_op": 1000},
+  {"name": "BenchmarkRemoved-8", "iterations": 100, "ns_per_op": 500}
+]`
+	basePath := t.TempDir() + "/base.json"
+	if err := writeFile(basePath, base); err != nil {
+		t.Fatal(err)
+	}
+	freshText := `BenchmarkStable-8 100 1100 ns/op
+BenchmarkRegressed-8 100 2000 ns/op
+BenchmarkNew-8 100 10 ns/op
+PASS
+`
+	var out bytes.Buffer
+	if err := runDiff(basePath, strings.NewReader(freshText), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"  ok: BenchmarkStable-8:",
+		"warn: BenchmarkRegressed-8:",
+		"warn: BenchmarkNew-8: not in baseline",
+		"warn: BenchmarkRemoved-8: in baseline but not in this run",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunDiffBadBaseline(t *testing.T) {
+	if err := runDiff("/nonexistent/base.json", strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	basePath := t.TempDir() + "/base.json"
+	if err := writeFile(basePath, "not json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDiff(basePath, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
 }

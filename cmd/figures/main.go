@@ -11,6 +11,11 @@
 //	figures -seed 7         # alternate seed
 //	figures -workers 4      # worker-pool size (default: NumCPU)
 //	figures -csv f1         # dump Figure 1's full 1-minute series as CSV
+//
+// Profiling (see README "Profiling"):
+//
+//	figures -cpuprofile cpu.pprof   # capture a CPU profile of the run
+//	figures -memprofile mem.pprof   # capture a heap profile at exit
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,10 +42,40 @@ func run() int {
 		seed    = flag.Int64("seed", 42, "base random seed")
 		workers = flag.Int("workers", runtime.NumCPU(), "concurrent experiments")
 		csvFlag = flag.String("csv", "", "dump an experiment's raw series as CSV (supported: f1)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if *workers < 1 {
 		*workers = runtime.NumCPU()
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	opts := experiments.Options{Seed: *seed, SeedSet: true, Quick: *quick}

@@ -17,6 +17,7 @@
 //	memoird -workers 4 -cache 512   # pool and cache bounds
 //	memoird -timeout 30s            # per-request generation budget
 //	memoird -smoke                  # self-test: serve, probe, shut down
+//	memoird -pprof                  # expose /debug/pprof/ (off by default)
 //
 // Identical requests return byte-identical bodies, and served reports match
 // cmd/figures output for the same seed (both use the per-experiment derived
@@ -31,6 +32,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -58,6 +60,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cache   = fs.Int("cache", 256, "max cached reports")
 		timeout = fs.Duration("timeout", 60*time.Second, "per-request generation budget")
 		smoke   = fs.Bool("smoke", false, "self-test: serve on a random port, probe, shut down")
+		pprofOn = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,7 +88,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "memoird: listen %s: %v\n", *addr, err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
+	httpSrv := &http.Server{Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -110,6 +117,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// withPprof mounts the standard net/http/pprof handlers under /debug/pprof/
+// in front of the API handler. Gated behind -pprof: the profile endpoints
+// expose process internals and can stall goroutines mid-capture, so the
+// default serving surface keeps them closed.
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
 }
 
 // runSmoke is the CI self-test: bind a random loopback port, probe the

@@ -63,6 +63,74 @@ func TestRunListenFailure(t *testing.T) {
 
 var servingRe = regexp.MustCompile(`serving on ([^ ]+) `)
 
+// bootDaemon starts run with the given extra flags on a random port and
+// returns the base URL, the exit-code channel, and the cancel func.
+func bootDaemon(t *testing.T, out, errOut *syncBuffer, extra ...string) (string, chan int, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-timeout", "5s"}, extra...)
+	codec := make(chan int, 1)
+	go func() { codec <- run(ctx, args, out, errOut) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := servingRe.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], codec, cancel
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never announced its address; stdout:\n%s\nstderr:\n%s", out.String(), errOut.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunPprofGate checks the /debug/pprof surface is served only when
+// -pprof is set, and that enabling it does not shadow the API routes.
+func TestRunPprofGate(t *testing.T) {
+	status := func(base, path string) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	shutdown := func(codec chan int, cancel context.CancelFunc, errOut *syncBuffer) {
+		t.Helper()
+		cancel()
+		select {
+		case code := <-codec:
+			if code != 0 {
+				t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errOut.String())
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+
+	var out, errOut syncBuffer
+	base, codec, cancel := bootDaemon(t, &out, &errOut, "-pprof")
+	if got := status(base, "/debug/pprof/"); got != http.StatusOK {
+		t.Errorf("-pprof: /debug/pprof/ = %d, want 200", got)
+	}
+	if got := status(base, "/debug/pprof/heap?debug=1"); got != http.StatusOK {
+		t.Errorf("-pprof: heap profile = %d, want 200", got)
+	}
+	if got := status(base, "/healthz"); got != http.StatusOK {
+		t.Errorf("-pprof: /healthz = %d, want 200 (API shadowed)", got)
+	}
+	shutdown(codec, cancel, &errOut)
+
+	var out2, errOut2 syncBuffer
+	base, codec, cancel = bootDaemon(t, &out2, &errOut2)
+	if got := status(base, "/debug/pprof/"); got != http.StatusNotFound {
+		t.Errorf("default: /debug/pprof/ = %d, want 404", got)
+	}
+	shutdown(codec, cancel, &errOut2)
+}
+
 // TestRunServeLifecycle boots the daemon on port 0, scrapes the bound
 // address from stdout, exercises live endpoints (health, bad route, unknown
 // report — both with the JSON error shape), then cancels the context and

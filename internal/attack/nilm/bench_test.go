@@ -34,6 +34,7 @@ func BenchmarkPowerPlayWeek(b *testing.B) {
 		}
 		models = append(models, m)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := PowerPlay(metered, models, DefaultPowerPlayConfig()); err != nil {

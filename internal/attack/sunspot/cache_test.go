@@ -1,0 +1,112 @@
+package sunspot
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"privmem/internal/solarsim"
+)
+
+// TestModelWindowCacheCoherent checks the memoized forward model returns
+// exactly the uncached computation for a spread of keys, on both the cold
+// (miss) and warm (hit) paths.
+func TestModelWindowCacheCoherent(t *testing.T) {
+	resetModelWindowCache()
+	defer resetModelWindowCache()
+
+	dates := []time.Time{
+		time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2017, 6, 21, 15, 30, 0, 0, time.UTC), // mid-day timestamp: truncated
+		time.Date(2017, 12, 21, 0, 0, 0, 0, time.UTC),
+	}
+	for _, date := range dates {
+		for _, lat := range []float64{-70, -30, 0, 35.5, 42, 70} {
+			for _, tilt := range []float64{18, 25, 32} {
+				day := time.Date(date.Year(), date.Month(), date.Day(), 0, 0, 0, 0, time.UTC)
+				wantMin, wantOK := computeModelWindowLen(day, lat, tilt, 0.03)
+				for pass, label := range []string{"cold", "warm"} {
+					gotMin, gotOK := modelWindowLen(date, lat, tilt, 0.03)
+					if gotMin != wantMin || gotOK != wantOK {
+						t.Fatalf("%s pass %d lat=%v tilt=%v date=%v: got (%v,%v), want (%v,%v)",
+							label, pass, lat, tilt, date, gotMin, gotOK, wantMin, wantOK)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLocalizeWarmColdIdentical runs Localize with an empty cache and again
+// fully warm, and requires bit-identical estimates: memoization must not
+// perturb the attack's output.
+func TestLocalizeWarmColdIdentical(t *testing.T) {
+	gen, err := solarsim.Generate(site(), nil, ssStart, 120, time.Minute, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resetModelWindowCache()
+	defer resetModelWindowCache()
+	cold, err := Localize(gen, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Localize(gen, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != warm {
+		t.Fatalf("cold estimate %+v != warm estimate %+v", cold, warm)
+	}
+}
+
+// TestModelWindowCacheConcurrent hammers one key set from several goroutines
+// under the race detector; every caller must see the pure-function value.
+func TestModelWindowCacheConcurrent(t *testing.T) {
+	resetModelWindowCache()
+	defer resetModelWindowCache()
+
+	date := time.Date(2017, 3, 20, 0, 0, 0, 0, time.UTC)
+	wantMin, wantOK := computeModelWindowLen(date, 42, 25, 0.03)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				gotMin, gotOK := modelWindowLen(date, 42, 25, 0.03)
+				if gotMin != wantMin || gotOK != wantOK {
+					t.Errorf("got (%v,%v), want (%v,%v)", gotMin, gotOK, wantMin, wantOK)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestModelWindowCacheEviction fills the cache past its cap and checks the
+// clear-on-overflow path still serves correct values afterwards.
+func TestModelWindowCacheEviction(t *testing.T) {
+	resetModelWindowCache()
+	defer resetModelWindowCache()
+
+	modelWindowCache.Lock()
+	for i := 0; i < modelWindowCacheCap; i++ {
+		modelWindowCache.m[windowKey{day: int64(i)}] = windowVal{}
+	}
+	modelWindowCache.Unlock()
+
+	date := time.Date(2017, 6, 21, 0, 0, 0, 0, time.UTC)
+	wantMin, wantOK := computeModelWindowLen(date, 42, 25, 0.03)
+	gotMin, gotOK := modelWindowLen(date, 42, 25, 0.03)
+	if gotMin != wantMin || gotOK != wantOK {
+		t.Fatalf("post-eviction value (%v,%v), want (%v,%v)", gotMin, gotOK, wantMin, wantOK)
+	}
+	modelWindowCache.RLock()
+	size := len(modelWindowCache.m)
+	modelWindowCache.RUnlock()
+	if size > 1 {
+		t.Fatalf("cache holds %d entries after overflow clear, want 1", size)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"privmem/internal/stats"
@@ -202,13 +203,69 @@ const (
 	modelDiffuse    = 0.16
 )
 
+// modelWindowCacheCap bounds the forward-model cache. The attack's working
+// set — fit dates × grid latitudes × candidate tilts — is a few hundred
+// thousand evaluations but only tens of thousands of distinct keys, far
+// below the cap; clearing on overflow only fires under adversarial key
+// churn and costs one recomputation pass.
+const modelWindowCacheCap = 1 << 17
+
+// windowKey identifies one forward-model evaluation. The date is reduced to
+// its UTC day, matching modelWindowLen's own truncation.
+type windowKey struct {
+	day            int64
+	lat, tilt, thr float64
+}
+
+type windowVal struct {
+	minutes float64
+	ok      bool
+}
+
+// modelWindowCache memoizes modelWindowLen across sites and runs. The
+// function is pure, so a racing duplicate compute stores the identical
+// value; a read lock keeps the hot hit path concurrent.
+var modelWindowCache = struct {
+	sync.RWMutex
+	m map[windowKey]windowVal
+}{m: make(map[windowKey]windowVal)}
+
+// resetModelWindowCache empties the cache (tests).
+func resetModelWindowCache() {
+	modelWindowCache.Lock()
+	modelWindowCache.m = make(map[windowKey]windowVal)
+	modelWindowCache.Unlock()
+}
+
 // modelWindowLen returns the modeled production-window length (minutes) for
 // a clear-sky, south-facing reference panel at the given latitude and date,
 // using the same fractional threshold as the attack. ok is false on polar
-// days.
+// days. Results are memoized: the latitude search re-evaluates the same
+// (day, grid-latitude, tilt) triples for every site, and repeated runs over
+// the same season hit a warm cache.
 func modelWindowLen(date time.Time, lat, tilt, thresholdFrac float64) (minutes float64, ok bool) {
-	const stepMin = 3
 	day := time.Date(date.Year(), date.Month(), date.Day(), 0, 0, 0, 0, time.UTC)
+	k := windowKey{day: day.Unix(), lat: lat, tilt: tilt, thr: thresholdFrac}
+	modelWindowCache.RLock()
+	v, hit := modelWindowCache.m[k]
+	modelWindowCache.RUnlock()
+	if hit {
+		return v.minutes, v.ok
+	}
+	minutes, ok = computeModelWindowLen(day, lat, tilt, thresholdFrac)
+	modelWindowCache.Lock()
+	if len(modelWindowCache.m) >= modelWindowCacheCap {
+		modelWindowCache.m = make(map[windowKey]windowVal)
+	}
+	modelWindowCache.m[k] = windowVal{minutes: minutes, ok: ok}
+	modelWindowCache.Unlock()
+	return minutes, ok
+}
+
+// computeModelWindowLen is the uncached forward model; day must already be
+// truncated to UTC midnight.
+func computeModelWindowLen(day time.Time, lat, tilt, thresholdFrac float64) (minutes float64, ok bool) {
+	const stepMin = 3
 	n := 24 * 60 / stepMin
 	gen := make([]float64, n)
 	peak := 0.0

@@ -11,6 +11,7 @@ import (
 // BenchmarkCommit measures one Pedersen commitment (two modular
 // exponentiations in the 1024-bit group).
 func BenchmarkCommit(b *testing.B) {
+	b.ReportAllocs()
 	g := NewGroup()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := g.Commit(int64(i), rand.Reader); err != nil {
@@ -22,6 +23,7 @@ func BenchmarkCommit(b *testing.B) {
 // BenchmarkVerifyMonthlyBill measures the utility-side verification of a
 // 720-reading month: recombination, opening check, and Schnorr proof.
 func BenchmarkVerifyMonthlyBill(b *testing.B) {
+	b.ReportAllocs()
 	g := NewGroup()
 	m := NewMeter(g, rand.Reader)
 	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)

@@ -64,8 +64,20 @@ type figure1Home struct {
 // CSV export). Like the paper's figure, the day must actually show the
 // phenomenon — occupied and unoccupied periods both present — so each home
 // deterministically scans forward from its base seed until it draws such a
-// day.
+// day. The seed scan (up to 25 simulations per home) makes this one of the
+// costlier worlds, so it is memoized.
 func figure1Series(opts Options) ([]figure1Home, []string, error) {
+	homes, err := memoWorld(memoKey("figure1", opts), func() ([]figure1Home, error) {
+		h, _, err := figure1SeriesUncached(opts)
+		return h, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return homes, []string{"Home-A", "Home-B"}, nil
+}
+
+func figure1SeriesUncached(opts Options) ([]figure1Home, []string, error) {
 	seed := opts.seed()
 	cfgA := home.DefaultConfig(seed)
 	cfgA.Days = 1
@@ -129,33 +141,12 @@ func Figure1CSV(opts Options) ([]string, error) {
 // reports 0.44 -> 0.045 (a factor of ~10, near random prediction).
 func Figure6CHPr(opts Options) (*Report, error) {
 	seed := opts.seed()
-	cfg := home.DefaultConfig(seed + 101)
-	cfg.Days = 7
-	if opts.Quick {
-		cfg.Days = 4
-	}
-	cfg.IncludeWaterHeater = false // the heater is simulated below
-	tr, err := home.Simulate(cfg)
+	w, err := chprWorld(opts)
 	if err != nil {
 		return nil, fmt.Errorf("figure 6: %w", err)
 	}
-	tank := chpr.DefaultTank()
-	base, err := chpr.Baseline(tank, tr.WaterDraws, tr.Aggregate)
-	if err != nil {
-		return nil, fmt.Errorf("figure 6: %w", err)
-	}
-	masked, err := chpr.Mask(tank, chpr.DefaultConfig(seed), tr.Aggregate, tr.WaterDraws)
-	if err != nil {
-		return nil, fmt.Errorf("figure 6: %w", err)
-	}
-	orig, err := tr.Aggregate.Add(base.HeaterPower)
-	if err != nil {
-		return nil, fmt.Errorf("figure 6: %w", err)
-	}
-	defended, err := tr.Aggregate.Add(masked.HeaterPower)
-	if err != nil {
-		return nil, fmt.Errorf("figure 6: %w", err)
-	}
+	tr, base, masked := w.tr, w.base, w.masked
+	orig, defended := w.orig, w.defended
 
 	score := func(trace *timeseries.Series, mseed int64) (niom.Evaluation, error) {
 		m, err := meter.Read(meter.DefaultConfig(mseed), trace)
@@ -204,13 +195,56 @@ func Figure6CHPr(opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// chprWorkload is the memoized Figure 6 world: the gas-heated home plus
+// the deterministic thermostat-baseline and CHPr-masked heater traces and
+// the two combined aggregates the attacker scores. Shared read-only.
+type chprWorkload struct {
+	tr             *home.Trace
+	base, masked   *chpr.Result
+	orig, defended *timeseries.Series
+}
+
+// chprWorld builds (or returns the memoized) CHPr evaluation world.
+func chprWorld(opts Options) (*chprWorkload, error) {
+	return memoWorld(memoKey("chpr", opts), func() (*chprWorkload, error) {
+		seed := opts.seed()
+		cfg := home.DefaultConfig(seed + 101)
+		cfg.Days = 7
+		if opts.Quick {
+			cfg.Days = 4
+		}
+		cfg.IncludeWaterHeater = false // the heater is simulated below
+		tr, err := home.Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tank := chpr.DefaultTank()
+		base, err := chpr.Baseline(tank, tr.WaterDraws, tr.Aggregate)
+		if err != nil {
+			return nil, err
+		}
+		masked, err := chpr.Mask(tank, chpr.DefaultConfig(seed), tr.Aggregate, tr.WaterDraws)
+		if err != nil {
+			return nil, err
+		}
+		orig, err := tr.Aggregate.Add(base.HeaterPower)
+		if err != nil {
+			return nil, err
+		}
+		defended, err := tr.Aggregate.Add(masked.HeaterPower)
+		if err != nil {
+			return nil, err
+		}
+		return &chprWorkload{tr: tr, base: base, masked: masked, orig: orig, defended: defended}, nil
+	})
+}
+
 // TableNIOMAccuracy reproduces the in-text claim that NIOM reaches 70-90%
 // occupancy-detection accuracy across a range of homes [1], [14], using
 // both detectors on a diverse simulated population. Accuracy is evaluated
 // over waking hours (8am-11pm, the span of the paper's Figure 1):
 // power-only detectors cannot observe sleeping occupants.
 func TableNIOMAccuracy(opts Options) (*Report, error) {
-	seed := opts.seed()
 	nHomes, days := 12, 7
 	if opts.Quick {
 		nHomes, days = 4, 4
@@ -223,23 +257,19 @@ func TableNIOMAccuracy(opts Options) (*Report, error) {
 		Metrics: map[string]float64{},
 		Notes:   []string{"paper: accuracies of 70-90% across homes"},
 	}
+	pop, err := niomPopulation(opts, nHomes, days)
+	if err != nil {
+		return nil, fmt.Errorf("table niom: %w", err)
+	}
 	var accs []float64
 	for i := 0; i < nHomes; i++ {
-		cfg := home.RandomConfig(seed, i)
-		cfg.Days = days
-		tr, err := home.Simulate(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("table niom: %w", err)
-		}
-		m, err := meter.Read(meter.DefaultConfig(seed+int64(i)), tr.Aggregate)
-		if err != nil {
-			return nil, fmt.Errorf("table niom: %w", err)
-		}
+		h := pop[i]
+		m := h.metered
 		predT, err := niom.DetectThreshold(m, niom.DefaultConfig())
 		if err != nil {
 			return nil, fmt.Errorf("table niom: %w", err)
 		}
-		evT, err := niom.EvaluateDaytime(tr.Occupancy, predT, 8, 23)
+		evT, err := niom.EvaluateDaytime(h.occupancy, predT, 8, 23)
 		if err != nil {
 			return nil, fmt.Errorf("table niom: %w", err)
 		}
@@ -247,12 +277,12 @@ func TableNIOMAccuracy(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table niom: %w", err)
 		}
-		evH, err := niom.EvaluateDaytime(tr.Occupancy, predH, 8, 23)
+		evH, err := niom.EvaluateDaytime(h.occupancy, predH, 8, 23)
 		if err != nil {
 			return nil, fmt.Errorf("table niom: %w", err)
 		}
 		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprintf("home-%02d", i+1), fmt.Sprint(cfg.Occupants),
+			fmt.Sprintf("home-%02d", i+1), fmt.Sprint(h.occupants),
 			f(evT.Accuracy), f(evT.MCC), f(evH.Accuracy), f(evH.MCC),
 		})
 		accs = append(accs, evT.Accuracy)
@@ -261,4 +291,34 @@ func TableNIOMAccuracy(opts Options) (*Report, error) {
 	rep.Metrics["threshold_acc_min"] = stats.Quantile(accs, 0)
 	rep.Metrics["threshold_acc_max"] = stats.Quantile(accs, 1)
 	return rep, nil
+}
+
+// niomHome is one memoized t1 population member. Shared read-only.
+type niomHome struct {
+	occupants int
+	metered   *timeseries.Series
+	occupancy *timeseries.Series
+}
+
+// niomPopulation builds (or returns the memoized) t1 home population: the
+// diverse simulated homes and their metered streams. Detection runs live.
+func niomPopulation(opts Options, nHomes, days int) ([]niomHome, error) {
+	return memoWorld(memoKey("niompop", opts), func() ([]niomHome, error) {
+		seed := opts.seed()
+		pop := make([]niomHome, 0, nHomes)
+		for i := 0; i < nHomes; i++ {
+			cfg := home.RandomConfig(seed, i)
+			cfg.Days = days
+			tr, err := home.Simulate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			m, err := meter.Read(meter.DefaultConfig(seed+int64(i)), tr.Aggregate)
+			if err != nil {
+				return nil, err
+			}
+			pop = append(pop, niomHome{occupants: cfg.Occupants, metered: m, occupancy: tr.Occupancy})
+		}
+		return pop, nil
+	})
 }

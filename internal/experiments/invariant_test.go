@@ -26,6 +26,21 @@ func TestPropRunAllDeterministic(t *testing.T) {
 	}
 }
 
+// TestPropRunAllMemoTransparent checks the memo-transparency law: the
+// shared-world memo must not change a single rendered byte, whether the
+// suite runs sequentially or on a pool.
+func TestPropRunAllMemoTransparent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memo transparency sweep is not short")
+	}
+	for _, seed := range []int64{0, 42} {
+		opts := experiments.Options{Seed: seed, SeedSet: true, Quick: true}
+		if err := suite.RunAllMemoTransparent(suiteIDs, opts, []int{1, 3}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 // TestPropRunAllDeterministicErrors checks the law's error half: a suite
 // containing an unknown id must fail identically — same error text, same
 // partial results — under every worker count.

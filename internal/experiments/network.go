@@ -13,9 +13,32 @@ import (
 	"privmem/internal/nettrace"
 )
 
+// networkWorkload bundles the memoized §IV world; consumers read only.
+type networkWorkload struct {
+	lab, victim *nettrace.Capture
+	tr          *home.Trace
+}
+
 // networkWorld builds the shared §IV workload: a lab capture for attacker
 // training, and a victim ~40-device LAN coupled to a real home's activity.
+// The world is memoized on (seed, quick); t8 and t9 derive different seeds
+// under RunAll, so the memo pays off across repeated runs, not within one
+// suite pass.
 func networkWorld(opts Options) (lab, victim *nettrace.Capture, tr *home.Trace, err error) {
+	w, err := memoWorld(memoKey("network", opts), func() (*networkWorkload, error) {
+		l, v, t, err := networkWorldUncached(opts)
+		if err != nil {
+			return nil, err
+		}
+		return &networkWorkload{lab: l, victim: v, tr: t}, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return w.lab, w.victim, w.tr, nil
+}
+
+func networkWorldUncached(opts Options) (lab, victim *nettrace.Capture, tr *home.Trace, err error) {
 	seed := opts.seed()
 	days := 7
 	if opts.Quick {

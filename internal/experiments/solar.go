@@ -12,6 +12,7 @@ import (
 	"privmem/internal/metrics"
 	"privmem/internal/solarsim"
 	"privmem/internal/stats"
+	"privmem/internal/timeseries"
 	"privmem/internal/weather"
 )
 
@@ -36,20 +37,49 @@ func solarWorld(opts Options, days int) (*weather.Field, []weather.Station, []so
 	return field, stations, solarsim.Fleet(seed + 7), nil
 }
 
+// solarFleetWorkload is the memoized Figure 5 world: the station grid, the
+// evaluated sites, and each site's generated 1-minute telemetry. Shared
+// read-only.
+type solarFleetWorkload struct {
+	stations []weather.Station
+	sites    []solarsim.Site
+	gens     []*timeseries.Series
+}
+
+// solarFleetWorld builds (or returns the memoized) Figure 5 fleet world.
+func solarFleetWorld(opts Options) (*solarFleetWorkload, error) {
+	return memoWorld(memoKey("solarfleet", opts), func() (*solarFleetWorkload, error) {
+		days := 365
+		if opts.Quick {
+			days = 90
+		}
+		field, stations, sites, err := solarWorld(opts, days)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Quick {
+			sites = sites[:5]
+		}
+		w := &solarFleetWorkload{stations: stations, sites: sites}
+		for i, s := range sites {
+			gen, err := solarsim.Generate(s, field, solarStart, days, time.Minute, opts.seed()+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			w.gens = append(w.gens, gen)
+		}
+		return w, nil
+	})
+}
+
 // Figure5Localization reproduces Figure 5: localization error (km) for 10
 // solar sites using SunSpot on 1-minute data and Weatherman on 1-hour data.
 func Figure5Localization(opts Options) (*Report, error) {
-	days := 365
-	if opts.Quick {
-		days = 90
-	}
-	field, stations, sites, err := solarWorld(opts, days)
+	w, err := solarFleetWorld(opts)
 	if err != nil {
 		return nil, fmt.Errorf("figure 5: %w", err)
 	}
-	if opts.Quick {
-		sites = sites[:5]
-	}
+	stations, sites := w.stations, w.sites
 	rep := &Report{
 		ID:      "f5",
 		Title:   "solar-site localization error: SunSpot (1-min) vs Weatherman (1-hr)",
@@ -62,10 +92,7 @@ func Figure5Localization(opts Options) (*Report, error) {
 	}
 	var ssErrs, wmErrs []float64
 	for i, s := range sites {
-		gen, err := solarsim.Generate(s, field, solarStart, days, time.Minute, opts.seed()+int64(i))
-		if err != nil {
-			return nil, fmt.Errorf("figure 5: %w", err)
-		}
+		gen := w.gens[i]
 		ssKm := -1.0
 		if est, err := sunspot.Localize(gen, sunspot.DefaultConfig()); err == nil {
 			ssKm = metrics.HaversineKm(s.Lat, s.Lon, est.Lat, est.Lon)
@@ -96,18 +123,7 @@ func Figure5Localization(opts Options) (*Report, error) {
 // the localization and the behavioural attacks on "anonymized" utility
 // datasets.
 func TableSunDance(opts Options) (*Report, error) {
-	seed := opts.seed()
-	days := 28
-	nHomes := 6
-	if opts.Quick {
-		days, nHomes = 14, 3
-	}
-	start := time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
-	field, err := weather.NewField(weather.DefaultFieldConfig(seed+33), start, days*24, 42)
-	if err != nil {
-		return nil, fmt.Errorf("table sundance: %w", err)
-	}
-	stations, err := weather.StationGrid(field, 41, 44, -74, -71, 0.25)
+	w, err := sundanceWorld(opts)
 	if err != nil {
 		return nil, fmt.Errorf("table sundance: %w", err)
 	}
@@ -121,63 +137,107 @@ func TableSunDance(opts Options) (*Report, error) {
 		},
 	}
 	var genErrs, consErrs []float64
-	for i := 0; i < nHomes; i++ {
-		site := solarsim.Site{
-			Name:      fmt.Sprintf("pv-home-%d", i+1),
-			Lat:       41.4 + 2.2*float64(i)/float64(nHomes),
-			Lon:       -73.8 + 2.4*float64(i)/float64(nHomes),
-			CapacityW: 4500 + 700*float64(i%4),
-			TiltDeg:   25, AzimuthDeg: 180, NoiseStd: 0.01,
-		}
-		gen, err := solarsim.Generate(site, field, start, days, time.Minute, seed+int64(i))
-		if err != nil {
-			return nil, fmt.Errorf("table sundance: %w", err)
-		}
-		hcfg := home.RandomConfig(seed+50, i)
-		hcfg.Days = days
-		hcfg.Start = start
-		tr, err := home.Simulate(hcfg)
-		if err != nil {
-			return nil, fmt.Errorf("table sundance: %w", err)
-		}
-		netTruth, err := meter.Net(tr.Aggregate, gen)
-		if err != nil {
-			return nil, fmt.Errorf("table sundance: %w", err)
-		}
-		net, err := meter.ReadNet(meter.DefaultConfig(seed+int64(i)), netTruth)
-		if err != nil {
-			return nil, fmt.Errorf("table sundance: %w", err)
-		}
-		res, err := sundance.Disaggregate(net, stations, sundance.DefaultConfig())
+	for i, h := range w.homes {
+		res, err := sundance.Disaggregate(h.net, w.stations, sundance.DefaultConfig())
 		if err != nil {
 			return nil, fmt.Errorf("table sundance home %d: %w", i, err)
 		}
-		genH, err := gen.Resample(time.Hour)
+		ge, err := metrics.DisaggregationError(h.genH.Values, res.Generation.Values)
 		if err != nil {
 			return nil, fmt.Errorf("table sundance: %w", err)
 		}
-		consH, err := tr.Aggregate.Resample(time.Hour)
+		ce, err := metrics.DisaggregationError(h.consH.Values, res.Consumption.Values)
 		if err != nil {
 			return nil, fmt.Errorf("table sundance: %w", err)
 		}
-		ge, err := metrics.DisaggregationError(genH.Values, res.Generation.Values)
-		if err != nil {
-			return nil, fmt.Errorf("table sundance: %w", err)
-		}
-		ce, err := metrics.DisaggregationError(consH.Values, res.Consumption.Values)
-		if err != nil {
-			return nil, fmt.Errorf("table sundance: %w", err)
-		}
-		locKm := metrics.HaversineKm(site.Lat, site.Lon, res.Lat, res.Lon)
+		locKm := metrics.HaversineKm(h.site.Lat, h.site.Lon, res.Lat, res.Lon)
 		genErrs = append(genErrs, ge)
 		consErrs = append(consErrs, ce)
 		rep.Rows = append(rep.Rows, []string{
-			site.Name, f(ge), f(ce),
-			fmt.Sprintf("%.0f/%.0f W", res.CapacityW, site.CapacityW),
+			h.site.Name, f(ge), f(ce),
+			fmt.Sprintf("%.0f/%.0f W", res.CapacityW, h.site.CapacityW),
 			f1dp(locKm),
 		})
 	}
 	rep.Metrics["gen_error_mean"] = stats.Mean(genErrs)
 	rep.Metrics["cons_error_mean"] = stats.Mean(consErrs)
 	return rep, nil
+}
+
+// sundanceHome is one memoized §II-B evaluation home: the PV site, its
+// metered net stream, and the hourly ground truths the attack is scored
+// against.
+type sundanceHome struct {
+	site  solarsim.Site
+	net   *timeseries.Series
+	genH  *timeseries.Series
+	consH *timeseries.Series
+}
+
+// sundanceWorkload is the memoized t3 world. Shared read-only.
+type sundanceWorkload struct {
+	stations []weather.Station
+	homes    []sundanceHome
+}
+
+// sundanceWorld builds (or returns the memoized) SunDance world: the
+// regional field and station grid plus each home's PV generation, load
+// trace, and net-metered stream.
+func sundanceWorld(opts Options) (*sundanceWorkload, error) {
+	return memoWorld(memoKey("sundance", opts), func() (*sundanceWorkload, error) {
+		seed := opts.seed()
+		days := 28
+		nHomes := 6
+		if opts.Quick {
+			days, nHomes = 14, 3
+		}
+		start := time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+		field, err := weather.NewField(weather.DefaultFieldConfig(seed+33), start, days*24, 42)
+		if err != nil {
+			return nil, err
+		}
+		stations, err := weather.StationGrid(field, 41, 44, -74, -71, 0.25)
+		if err != nil {
+			return nil, err
+		}
+		w := &sundanceWorkload{stations: stations}
+		for i := 0; i < nHomes; i++ {
+			site := solarsim.Site{
+				Name:      fmt.Sprintf("pv-home-%d", i+1),
+				Lat:       41.4 + 2.2*float64(i)/float64(nHomes),
+				Lon:       -73.8 + 2.4*float64(i)/float64(nHomes),
+				CapacityW: 4500 + 700*float64(i%4),
+				TiltDeg:   25, AzimuthDeg: 180, NoiseStd: 0.01,
+			}
+			gen, err := solarsim.Generate(site, field, start, days, time.Minute, seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			hcfg := home.RandomConfig(seed+50, i)
+			hcfg.Days = days
+			hcfg.Start = start
+			tr, err := home.Simulate(hcfg)
+			if err != nil {
+				return nil, err
+			}
+			netTruth, err := meter.Net(tr.Aggregate, gen)
+			if err != nil {
+				return nil, err
+			}
+			net, err := meter.ReadNet(meter.DefaultConfig(seed+int64(i)), netTruth)
+			if err != nil {
+				return nil, err
+			}
+			genH, err := gen.Resample(time.Hour)
+			if err != nil {
+				return nil, err
+			}
+			consH, err := tr.Aggregate.Resample(time.Hour)
+			if err != nil {
+				return nil, err
+			}
+			w.homes = append(w.homes, sundanceHome{site: site, net: net, genH: genH, consH: consH})
+		}
+		return w, nil
+	})
 }

@@ -10,6 +10,7 @@ func BenchmarkViterbi(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	m := twoStateModel()
 	_, obs := sampleModel(rng, m, 1440)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := m.Viterbi(obs); err != nil {
@@ -22,6 +23,7 @@ func BenchmarkViterbi(b *testing.B) {
 func BenchmarkBaumWelchTrain(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	_, obs := sampleModel(rng, twoStateModel(), 2000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Train(obs, TrainConfig{States: 2, MaxIter: 10}); err != nil {
@@ -54,6 +56,7 @@ func BenchmarkFactorialDecode(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.Decode(obs); err != nil {

@@ -3,6 +3,8 @@ package hmm
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // maxJointStates bounds the factorial product state space. Beyond this the
@@ -10,16 +12,63 @@ import (
 // states per chain.
 const maxJointStates = 1 << 16
 
+// parallelSweepMin is the joint-lattice size (joint states squared) above
+// which Decode fans the per-timestep sweep out to a worker pool. Below it
+// the per-timestep synchronization costs more than the sweep itself.
+const parallelSweepMin = 1 << 12
+
 // Factorial is a factorial HMM: several independent hidden chains whose
 // Gaussian emissions sum to the single observed value (a home's aggregate
 // power). Decoding is exact Viterbi over the product state space, the
 // textbook construction used by FHMM energy disaggregation [19].
+//
+// The chains and observation noise must not be modified after NewFactorial:
+// Decode caches the flattened joint transition matrix and per-joint-state
+// emission tables on first use (the standard FHMM precomputation), so later
+// parameter edits would be silently ignored.
 type Factorial struct {
 	// Chains are the per-device models.
 	Chains []*Model
 	// ObsStd is the additional observation noise of the aggregate signal
 	// (unmodeled loads, meter noise).
 	ObsStd float64
+
+	// prep is the decode kernel's precomputed state, built once on first
+	// Decode (not at construction: callers may build models they never
+	// decode, and the joint transition matrix is the dominant allocation).
+	prepOnce sync.Once
+	prep     *factorialPrep
+
+	// scratch recycles per-Decode working buffers (delta/next rows and the
+	// emission row) across calls and chunks.
+	scratch sync.Pool
+}
+
+// factorialPrep holds everything about the decode lattice that depends only
+// on the model, never on the observations. Building it per Decode call — as
+// the naive kernel did — costs O(nj^2 * nc) logarithms per call, which
+// dominates short-chunk decoding.
+type factorialPrep struct {
+	nj int // joint state count
+	nc int // chain count
+
+	// Per joint state j: the summed emission mean, the (minStd-clamped)
+	// combined emission std, its precomputed log, and the joint initial
+	// log probability.
+	sumMean []float64
+	emitStd []float64
+	logStd  []float64
+	initLog []float64
+
+	// transT is the joint log-transition matrix, flattened and TRANSPOSED:
+	// transT[b*nj+a] = log P(a -> b). The Viterbi inner loop scans all
+	// predecessors a for a fixed successor b, so the transposed layout makes
+	// that scan contiguous (the row-major [a][b] layout strides nj*8 bytes
+	// per step and thrashes the cache).
+	transT []float64
+
+	// states[j*nc+i] is chain i's state inside joint state j.
+	states []int32
 }
 
 // NewFactorial validates the chains and returns a Factorial ready to decode.
@@ -62,20 +111,21 @@ func (f *Factorial) jointCount() int {
 	return total
 }
 
-// Decode returns, for each chain, its most likely state sequence given the
-// aggregate observations, via exact Viterbi over the joint state space.
-func (f *Factorial) Decode(obs []float64) ([][]int, error) {
-	nj := f.jointCount()
-	nc := len(f.Chains)
-	if len(obs) == 0 {
-		return make([][]int, nc), nil
+// buildPrep computes the model-dependent decode tables. The arithmetic
+// mirrors the naive kernel exactly — same accumulation order per entry — so
+// cached decoding is bit-identical to rebuilding the tables per call.
+func (f *Factorial) buildPrep() *factorialPrep {
+	nj, nc := f.jointCount(), len(f.Chains)
+	p := &factorialPrep{
+		nj:      nj,
+		nc:      nc,
+		sumMean: make([]float64, nj),
+		emitStd: make([]float64, nj),
+		logStd:  make([]float64, nj),
+		initLog: make([]float64, nj),
+		transT:  make([]float64, nj*nj),
+		states:  make([]int32, nj*nc),
 	}
-
-	// Precompute per-joint-state summed means, emission stds, initial and
-	// transition log probabilities.
-	sumMean := make([]float64, nj)
-	emitStd := make([]float64, nj)
-	initLog := make([]float64, nj)
 	states := make([]int, nc)
 	for j := 0; j < nj; j++ {
 		f.jointState(j, states)
@@ -83,18 +133,22 @@ func (f *Factorial) Decode(obs []float64) ([][]int, error) {
 		var lp float64
 		for i, c := range f.Chains {
 			s := states[i]
-			sumMean[j] += c.Means[s]
+			p.states[j*nc+i] = int32(s)
+			p.sumMean[j] += c.Means[s]
 			variance += c.Stds[s] * c.Stds[s]
 			lp += safeLog(c.Initial[s])
 		}
-		emitStd[j] = math.Sqrt(variance)
-		initLog[j] = lp
+		std := math.Sqrt(variance)
+		if std < minStd {
+			std = minStd
+		}
+		p.emitStd[j] = std
+		p.logStd[j] = math.Log(std)
+		p.initLog[j] = lp
 	}
-	transLog := make([][]float64, nj)
 	from := make([]int, nc)
 	to := make([]int, nc)
 	for a := 0; a < nj; a++ {
-		transLog[a] = make([]float64, nj)
 		f.jointState(a, from)
 		for b := 0; b < nj; b++ {
 			f.jointState(b, to)
@@ -102,30 +156,102 @@ func (f *Factorial) Decode(obs []float64) ([][]int, error) {
 			for i, c := range f.Chains {
 				lp += safeLog(c.Trans[from[i]][to[i]])
 			}
-			transLog[a][b] = lp
+			p.transT[b*nj+a] = lp
+		}
+	}
+	return p
+}
+
+// emitLog returns the emission log density of x under joint state j: the
+// logGauss expression with the per-state invariant log terms (log std and
+// the 0.5*log(2*pi) constant) hoisted into prep. The subtraction order is
+// logGauss's exactly, so values match the naive kernel bit for bit.
+func (p *factorialPrep) emitLog(x float64, j int) float64 {
+	d := (x - p.sumMean[j]) / p.emitStd[j]
+	return -0.5*d*d - p.logStd[j] - halfLog2Pi
+}
+
+// decodeScratch holds the per-call working set reused across timesteps and
+// across Decode calls (via the Factorial's pool).
+type decodeScratch struct {
+	delta []float64
+	next  []float64
+}
+
+// sweepRange runs one timestep of the Viterbi recursion for successors
+// [lo, hi): for each b it finds the best predecessor (strictly-greater max,
+// so the lowest index wins ties, exactly like the naive kernel) and adds the
+// emission term.
+func (p *factorialPrep) sweepRange(x float64, delta, next []float64, prevRow []int32, lo, hi int) {
+	nj := p.nj
+	for b := lo; b < hi; b++ {
+		row := p.transT[b*nj : b*nj+nj]
+		d := delta[:len(row)] // bounds-check elimination for d[a]
+		best, arg := math.Inf(-1), 0
+		for a, tl := range row {
+			if v := d[a] + tl; v > best {
+				best, arg = v, a
+			}
+		}
+		next[b] = best + p.emitLog(x, b)
+		prevRow[b] = int32(arg)
+	}
+}
+
+// Decode returns, for each chain, its most likely state sequence given the
+// aggregate observations, via exact Viterbi over the joint state space.
+//
+// The kernel is profile-shaped but bit-identical to the textbook
+// formulation: model tables are cached across calls (buildPrep), the
+// transition matrix is flat and transposed for contiguous predecessor
+// scans, Gaussian log terms are hoisted out of the inner loop, scratch rows
+// are pooled, and on large lattices the per-timestep successor sweep fans
+// out over a bounded worker pool (each successor's computation is
+// independent given the previous delta row, so parallel order cannot change
+// the result).
+func (f *Factorial) Decode(obs []float64) ([][]int, error) {
+	nc := len(f.Chains)
+	if len(obs) == 0 {
+		return make([][]int, nc), nil
+	}
+	f.prepOnce.Do(func() { f.prep = f.buildPrep() })
+	p := f.prep
+	nj := p.nj
+
+	sc, _ := f.scratch.Get().(*decodeScratch)
+	if sc == nil || len(sc.delta) < nj {
+		sc = &decodeScratch{
+			delta: make([]float64, nj),
+			next:  make([]float64, nj),
+		}
+	}
+	defer f.scratch.Put(sc)
+	delta, next := sc.delta[:nj], sc.next[:nj]
+
+	// prev is one flat backpointer lattice instead of a per-timestep
+	// allocation; row t starts at t*nj. Row 0 is never read.
+	prev := make([]int32, len(obs)*nj)
+
+	for j := 0; j < nj; j++ {
+		delta[j] = p.initLog[j] + p.emitLog(obs[0], j)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	parallel := nj*nj >= parallelSweepMin && workers > 1
+	if workers > 8 {
+		workers = 8
+	}
+	if parallel {
+		f.decodeSweepParallel(obs, delta, next, prev, workers)
+		// The final delta row lives in whichever buffer the last swap left
+		// active; decodeSweepParallel wrote it back into delta.
+	} else {
+		for t := 1; t < len(obs); t++ {
+			p.sweepRange(obs[t], delta, next, prev[t*nj:(t+1)*nj], 0, nj)
+			delta, next = next, delta
 		}
 	}
 
-	delta := make([]float64, nj)
-	next := make([]float64, nj)
-	prev := make([][]int32, len(obs))
-	for j := 0; j < nj; j++ {
-		delta[j] = initLog[j] + logGauss(obs[0], sumMean[j], emitStd[j])
-	}
-	for t := 1; t < len(obs); t++ {
-		prev[t] = make([]int32, nj)
-		for b := 0; b < nj; b++ {
-			best, arg := math.Inf(-1), 0
-			for a := 0; a < nj; a++ {
-				if v := delta[a] + transLog[a][b]; v > best {
-					best, arg = v, a
-				}
-			}
-			next[b] = best + logGauss(obs[t], sumMean[b], emitStd[b])
-			prev[t][b] = int32(arg)
-		}
-		delta, next = next, delta
-	}
 	best, arg := math.Inf(-1), 0
 	for j := 0; j < nj; j++ {
 		if delta[j] > best {
@@ -140,15 +266,64 @@ func (f *Factorial) Decode(obs []float64) ([][]int, error) {
 	}
 	j := arg
 	for t := len(obs) - 1; t >= 0; t-- {
-		f.jointState(j, states)
 		for i := range out {
-			out[i][t] = states[i]
+			out[i][t] = int(p.states[j*nc+i])
 		}
 		if t > 0 {
-			j = int(prev[t][j])
+			j = int(prev[t*nj+j])
 		}
 	}
 	return out, nil
+}
+
+// decodeSweepParallel runs the timestep recursion with the successor range
+// sharded over a bounded worker pool. Workers synchronize per timestep: the
+// recursion is sequential in t (delta at t feeds t+1), but all successors
+// within a timestep are independent. On return the final delta row has been
+// copied into the delta slice passed in.
+func (f *Factorial) decodeSweepParallel(obs []float64, delta, next []float64, prev []int32, workers int) {
+	p := f.prep
+	nj := p.nj
+	if workers > nj {
+		workers = nj
+	}
+	type task struct {
+		t      int
+		lo, hi int
+	}
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	var stepWG sync.WaitGroup
+	cur, nxt := delta, next
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				p.sweepRange(obs[tk.t], cur, nxt, prev[tk.t*nj:(tk.t+1)*nj], tk.lo, tk.hi)
+				stepWG.Done()
+			}
+		}()
+	}
+	shard := (nj + workers - 1) / workers
+	nShards := (nj + shard - 1) / shard
+	for t := 1; t < len(obs); t++ {
+		stepWG.Add(nShards)
+		for lo := 0; lo < nj; lo += shard {
+			hi := lo + shard
+			if hi > nj {
+				hi = nj
+			}
+			tasks <- task{t: t, lo: lo, hi: hi}
+		}
+		stepWG.Wait()
+		cur, nxt = nxt, cur
+	}
+	close(tasks)
+	wg.Wait()
+	if &cur[0] != &delta[0] {
+		copy(delta, cur)
+	}
 }
 
 // InferPower decodes the aggregate and returns each chain's inferred power

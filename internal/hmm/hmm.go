@@ -75,13 +75,19 @@ func checkDist(p []float64) error {
 	return nil
 }
 
+// halfLog2Pi is the Gaussian log-density normalization constant, hoisted so
+// the decode kernels do not recompute math.Log(2*pi) per sample. Computed
+// with the exact expression logGauss historically inlined, so hoisting
+// changes no bits.
+var halfLog2Pi = 0.5 * math.Log(2*math.Pi)
+
 // logGauss returns the log density of x under N(mean, std^2).
 func logGauss(x, mean, std float64) float64 {
 	if std < minStd {
 		std = minStd
 	}
 	d := (x - mean) / std
-	return -0.5*d*d - math.Log(std) - 0.5*math.Log(2*math.Pi)
+	return -0.5*d*d - math.Log(std) - halfLog2Pi
 }
 
 // safeLog returns log(x) with -Inf guarded to a very small value so Viterbi
@@ -104,23 +110,32 @@ func (m *Model) Viterbi(obs []float64) ([]int, float64, error) {
 	}
 	k := m.K()
 	delta := make([]float64, k)
-	prev := make([][]int16, len(obs))
+	// Hoist the transition log-probabilities out of the T*K^2 inner loop
+	// (the naive recursion recomputes safeLog per step). Stored transposed —
+	// transT[s*k+r] = log P(r -> s) — so the predecessor scan is contiguous.
+	transT := make([]float64, k*k)
+	for r := 0; r < k; r++ {
+		for s := 0; s < k; s++ {
+			transT[s*k+r] = safeLog(m.Trans[r][s])
+		}
+	}
+	prev := make([]int16, len(obs)*k)
 	for s := 0; s < k; s++ {
 		delta[s] = safeLog(m.Initial[s]) + logGauss(obs[0], m.Means[s], m.Stds[s])
 	}
 	next := make([]float64, k)
 	for t := 1; t < len(obs); t++ {
-		prev[t] = make([]int16, k)
+		prevRow := prev[t*k : (t+1)*k]
 		for s := 0; s < k; s++ {
+			row := transT[s*k : s*k+k]
 			best, arg := math.Inf(-1), 0
-			for r := 0; r < k; r++ {
-				v := delta[r] + safeLog(m.Trans[r][s])
-				if v > best {
+			for r, tl := range row {
+				if v := delta[r] + tl; v > best {
 					best, arg = v, r
 				}
 			}
 			next[s] = best + logGauss(obs[t], m.Means[s], m.Stds[s])
-			prev[t][s] = int16(arg)
+			prevRow[s] = int16(arg)
 		}
 		delta, next = next, delta
 	}
@@ -133,7 +148,7 @@ func (m *Model) Viterbi(obs []float64) ([]int, float64, error) {
 	path := make([]int, len(obs))
 	path[len(obs)-1] = arg
 	for t := len(obs) - 1; t > 0; t-- {
-		arg = int(prev[t][arg])
+		arg = int(prev[t*k+arg])
 		path[t-1] = arg
 	}
 	return path, best, nil

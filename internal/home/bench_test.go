@@ -5,6 +5,7 @@ import "testing"
 // BenchmarkSimulateWeek measures a full 7-day household simulation at
 // 1-minute resolution (the unit of work behind most experiments).
 func BenchmarkSimulateWeek(b *testing.B) {
+	b.ReportAllocs()
 	cfg := DefaultConfig(42)
 	cfg.Days = 7
 	for i := 0; i < b.N; i++ {

@@ -61,3 +61,48 @@ func RunAllDeterministic(ids []string, opts experiments.Options, workerCounts []
 	}
 	return nil
 }
+
+// RunAllMemoTransparent checks the memo-transparency law: the shared-world
+// memo is a pure cache, so RunAll renders bit-identical reports with the
+// memo enabled and disabled, at every given worker count. Both toggles also
+// flush the cache, so the enabled pass exercises genuine cold builds. The
+// memo is re-enabled (and flushed) before returning regardless of outcome.
+func RunAllMemoTransparent(ids []string, opts experiments.Options, workerCounts []int) error {
+	if len(workerCounts) < 1 {
+		return fmt.Errorf("invariant: need at least 1 worker count")
+	}
+	defer experiments.SetWorldMemo(true)
+	render := func(workers int) ([]string, error) {
+		reports, err := experiments.RunAll(context.Background(), ids, opts,
+			experiments.RunAllOptions{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		bodies := make([]string, len(reports))
+		for i, r := range reports {
+			if r != nil {
+				bodies[i] = r.Render()
+			}
+		}
+		return bodies, nil
+	}
+	for _, workers := range workerCounts {
+		experiments.SetWorldMemo(false)
+		plain, err := render(workers)
+		if err != nil {
+			return fmt.Errorf("invariant: memo off, %d workers: %w", workers, err)
+		}
+		experiments.SetWorldMemo(true)
+		memoized, err := render(workers)
+		if err != nil {
+			return fmt.Errorf("invariant: memo on, %d workers: %w", workers, err)
+		}
+		for i := range plain {
+			if memoized[i] != plain[i] {
+				return fmt.Errorf("invariant: RunAll(%s, seed=%d, %d workers) differs with world memo on vs off",
+					ids[i], opts.Seed, workers)
+			}
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ func BenchmarkCloudSeriesMonth(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.CloudSeries(42.3, -72.5)
