@@ -1,26 +1,40 @@
 # PR gate and developer shortcuts. `make check` is what every PR must pass:
-# vet, build, the full test suite under the race detector (the RunAll and
-# serve concurrency tests only count as coverage when raced), the
-# per-package coverage floor, a fuzz smoke over both untrusted decoders,
-# and the memoird smoke test (random port, /healthz + report probes,
-# cache-hit verification, clean shutdown).
+# vet, the privmemvet analyzer suite (lint), build, the full test suite
+# under the race detector (the RunAll and serve concurrency tests only
+# count as coverage when raced), the per-package coverage floors, a fuzz
+# smoke over both untrusted decoders, and the memoird smoke test (random
+# port, /healthz + report probes, cache-hit verification, clean shutdown).
 
 GO ?= go
 
 # Packages whose statement coverage must stay at or above COVER_FLOOR.
 COVER_FLOOR ?= 70
-COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve
+COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve ./cmd/benchjson
+
+# Second coverage tier: cmd/memoird's main is signal/listen plumbing that
+# only an end-to-end run exercises, so it carries a lower floor — set to
+# what the package passes today, so coverage can only ratchet up.
+COVER_FLOOR_CMD ?= 35
+COVER_PKGS_CMD ?= ./cmd/memoird
 
 # Per-target budget for the fuzz smoke. CI uses the default; raise it for a
 # longer local hunt, e.g. `make fuzz FUZZTIME=10m`.
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race short cover fuzz bench bench-serve bench-experiments bench-diff figures smoke memoird
+.PHONY: check vet lint build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-diff figures smoke memoird
 
-check: vet build race cover fuzz smoke bench-diff
+check: vet lint build race cover fuzz smoke bench-diff
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repository's own analyzer suite (internal/analysis via
+# cmd/privmemvet): determinism (detrand, maporder), seeding discipline
+# (seedflow), lock scope (mutexscope), error paths (errpath), and discarded
+# pure results (purecall). A finding fails the gate unless the line carries
+# a reasoned `//lint:allow <analyzer> <reason>` — see DESIGN.md §8.
+lint:
+	$(GO) run ./cmd/privmemvet ./...
 
 build:
 	$(GO) build ./...
@@ -34,9 +48,10 @@ race:
 short:
 	$(GO) test -short ./...
 
-# cover enforces the coverage gate: each package in COVER_PKGS must report
-# statement coverage >= COVER_FLOOR percent or the target fails.
-cover:
+# cover enforces the coverage gates: each package in COVER_PKGS must report
+# statement coverage >= COVER_FLOOR percent, and each in COVER_PKGS_CMD
+# >= COVER_FLOOR_CMD, or the target fails.
+cover: cover-cmd
 	@set -e; for pkg in $(COVER_PKGS); do \
 		out=$$($(GO) test -count=1 -cover $$pkg); \
 		echo "$$out"; \
@@ -45,6 +60,18 @@ cover:
 		ok=$$(awk -v p=$$pct -v f=$(COVER_FLOOR) 'BEGIN { print (p >= f) ? 1 : 0 }'); \
 		if [ "$$ok" != "1" ]; then \
 			echo "cover: $$pkg at $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+	done
+
+cover-cmd:
+	@set -e; for pkg in $(COVER_PKGS_CMD); do \
+		out=$$($(GO) test -count=1 -cover $$pkg); \
+		echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for $$pkg"; exit 1; fi; \
+		ok=$$(awk -v p=$$pct -v f=$(COVER_FLOOR_CMD) 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+		if [ "$$ok" != "1" ]; then \
+			echo "cover: $$pkg at $$pct% is below the $(COVER_FLOOR_CMD)% floor"; exit 1; \
 		fi; \
 	done
 

@@ -92,7 +92,9 @@ func runDiff(basePath string, in io.Reader, out io.Writer) error {
 		seen[r.Name] = true
 		old, ok := baseByName[r.Name]
 		if !ok {
-			fmt.Fprintf(out, "warn: %s: not in baseline %s\n", r.Name, basePath)
+			if _, err := fmt.Fprintf(out, "warn: %s: not in baseline %s\n", r.Name, basePath); err != nil {
+				return err
+			}
 			continue
 		}
 		if old.NsPerOp <= 0 || r.NsPerOp <= 0 {
@@ -103,8 +105,10 @@ func runDiff(basePath string, in io.Reader, out io.Writer) error {
 		if ratio > regressionWarnFactor {
 			prefix = "warn:"
 		}
-		fmt.Fprintf(out, "%s %s: %.4g ns/op vs baseline %.4g (%.2fx)\n",
-			prefix, r.Name, r.NsPerOp, old.NsPerOp, ratio)
+		if _, err := fmt.Fprintf(out, "%s %s: %.4g ns/op vs baseline %.4g (%.2fx)\n",
+			prefix, r.Name, r.NsPerOp, old.NsPerOp, ratio); err != nil {
+			return err
+		}
 	}
 	missing := []string{}
 	for name := range baseByName {
@@ -114,7 +118,9 @@ func runDiff(basePath string, in io.Reader, out io.Writer) error {
 	}
 	sort.Strings(missing)
 	for _, name := range missing {
-		fmt.Fprintf(out, "warn: %s: in baseline but not in this run\n", name)
+		if _, err := fmt.Fprintf(out, "warn: %s: in baseline but not in this run\n", name); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,151 @@
+// Command privmemvet is the repository's multichecker: it runs the custom
+// go/analysis-style analyzer suite (internal/analysis) that mechanically
+// enforces the determinism, seeding, and concurrency contracts the
+// evaluation's bit-identical-reproducibility story rests on. It is the
+// `make lint` gate; `make check` runs it between vet and the build.
+//
+// Usage:
+//
+//	privmemvet ./...          # the PR gate invocation
+//	privmemvet ./internal/... # any package patterns
+//	privmemvet file.go        # ad-hoc file: every analyzer, no scoping
+//	privmemvet -list          # print the analyzer inventory and scopes
+//
+// Analyzer scoping: detrand runs only on deterministic packages (the
+// simulators, attacks, defenses, experiments — not serve/cmd, where
+// wall-clock is legitimate); seedflow on the experiment and invariant
+// suites; errpath on serve and the cmd binaries; maporder, mutexscope, and
+// purecall everywhere. Explicit .go file arguments run every analyzer,
+// which is how scratch fixtures prove each one fires (see main_test.go).
+//
+// A finding is suppressed only by a written-reason comment on or above the
+// offending line:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// An allow without a reason is itself a finding. Exit status is 1 if any
+// diagnostic survives, 0 on a clean tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"privmem/internal/analysis"
+	"privmem/internal/analysis/detrand"
+	"privmem/internal/analysis/errpath"
+	"privmem/internal/analysis/maporder"
+	"privmem/internal/analysis/mutexscope"
+	"privmem/internal/analysis/purecall"
+	"privmem/internal/analysis/seedflow"
+)
+
+// scoped pairs an analyzer with the import-path predicate selecting the
+// packages it applies to.
+type scoped struct {
+	analyzer *analysis.Analyzer
+	scope    string // human-readable, for -list
+	applies  func(importPath string) bool
+}
+
+func everywhere(string) bool { return true }
+
+// deterministicScope selects the packages whose output must be a pure
+// function of the seed: the facade and every internal package except the
+// serving layer (latency metrics need wall-clock) and the analysis suite
+// itself (tooling, not simulation).
+func deterministicScope(path string) bool {
+	if path == "privmem" {
+		return true
+	}
+	if !strings.HasPrefix(path, "privmem/internal/") {
+		return false
+	}
+	return path != "privmem/internal/serve" &&
+		!strings.HasPrefix(path, "privmem/internal/analysis")
+}
+
+func seedflowScope(path string) bool {
+	return path == "privmem/internal/experiments" ||
+		strings.HasPrefix(path, "privmem/internal/invariant")
+}
+
+func errpathScope(path string) bool {
+	return path == "privmem/internal/serve" || strings.HasPrefix(path, "privmem/cmd/")
+}
+
+func suite() []scoped {
+	return []scoped{
+		{detrand.Analyzer, "deterministic packages (internal/* minus serve, analysis)", deterministicScope},
+		{seedflow.Analyzer, "internal/experiments, internal/invariant", seedflowScope},
+		{maporder.Analyzer, "all packages", everywhere},
+		{mutexscope.Analyzer, "all packages", everywhere},
+		{errpath.Analyzer, "internal/serve, cmd/* (non-test files)", errpathScope},
+		{purecall.Analyzer, "all packages", everywhere},
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("privmemvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzer inventory and scopes")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	checks := suite()
+	if *list {
+		for _, c := range checks {
+			fmt.Fprintf(stdout, "%-11s %s\n            scope: %s\n", c.analyzer.Name, c.analyzer.Doc, c.scope)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := vet(".", patterns, checks)
+	if err != nil {
+		fmt.Fprintf(stderr, "privmemvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "privmemvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// vet loads the packages matching patterns and applies each analyzer in
+// its scope. Ad-hoc file packages (go list's command-line-arguments) get
+// the full suite: they exist to demonstrate analyzers firing.
+func vet(dir string, patterns []string, checks []scoped) ([]analysis.Diagnostic, error) {
+	pkgs, err := analysis.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		var active []*analysis.Analyzer
+		for _, c := range checks {
+			if pkg.ImportPath == "command-line-arguments" || c.applies(pkg.ImportPath) {
+				active = append(active, c.analyzer)
+			}
+		}
+		diags, err := analysis.RunAnalyzers(pkg, active)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}

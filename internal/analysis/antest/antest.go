@@ -1,0 +1,166 @@
+// Package antest is this repository's stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over a
+// fixture directory and checks the reported diagnostics against
+// `// want "regexp"` comments in the fixture source.
+//
+// Fixture layout follows the analysistest convention: each analyzer keeps
+// its cases under testdata/src/<name>/, one package per directory. A line
+// that must be flagged carries a trailing comment
+//
+//	rand.Intn(6) // want `global math/rand`
+//
+// where the quoted text (backquotes or double quotes) is a regular
+// expression matched against the diagnostic message. Lines without a want
+// comment must produce no diagnostic. Suppressions (//lint:allow) are
+// applied exactly as in the real driver, so fixtures can prove both that a
+// well-formed allow silences a finding and that a malformed one is
+// re-reported (expected via a `// want` on the lintallow pseudo-analyzer's
+// message).
+//
+// Fixtures are type-checked against the standard library only; analyzers
+// whose configuration names module types (purecall) accept that
+// configuration as a parameter so fixtures can bind to fixture-local types.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"privmem/internal/analysis"
+)
+
+// wantRe extracts the quoted regexp from a `// want "..."` or
+// `// want `...“ comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"([^\"]*)\"|`([^`]*)`)")
+
+// Run analyzes the single fixture package in dir with a and reports any
+// mismatch between produced diagnostics and // want expectations on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("antest: loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("antest: running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+
+	// Match each diagnostic against the want expectation on its line.
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		w := wants[key]
+		switch {
+		case w == nil:
+			t.Errorf("unexpected diagnostic at %s", d)
+		case !w.re.MatchString(d.Message):
+			t.Errorf("diagnostic at %s:%d %q does not match want %q", d.Pos.Filename, d.Pos.Line, d.Message, w.re)
+		default:
+			matched[w] = true
+		}
+	}
+	var missing []string
+	for _, w := range wants {
+		if !matched[w] {
+			missing = append(missing, fmt.Sprintf("%s: no diagnostic matching %q", w.at, w.re))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("missing expected diagnostic: %s", m)
+	}
+}
+
+type want struct {
+	at string
+	re *regexp.Regexp
+}
+
+// collectWants scans fixture comments for // want expectations, keyed by
+// file:line.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string]*want {
+	t.Helper()
+	wants := map[string]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				expr := m[1]
+				if expr == "" {
+					expr = m[2]
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("antest: bad want regexp %q: %v", expr, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = &want{at: key, re: re}
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture parses and type-checks every .go file in dir as one package
+// whose import path is the directory's base name.
+func loadFixture(dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	path := filepath.Base(dir)
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &analysis.Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"privmem/internal/analysis/antest"
+	"privmem/internal/analysis/detrand"
+)
+
+func TestDetrandFixture(t *testing.T) {
+	antest.Run(t, "testdata/src/detrand", detrand.Analyzer)
+}

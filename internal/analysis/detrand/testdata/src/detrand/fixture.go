@@ -1,0 +1,34 @@
+// Fixture for the detrand analyzer: global math/rand draws and wall-clock
+// reads are flagged; explicitly seeded generators, simulated instants, and
+// reasoned suppressions are not.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+var epoch = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func flagged() {
+	_ = rand.Intn(6)                   // want `global math/rand.Intn`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle`
+	_ = rand.Float64()                 // want `global math/rand.Float64`
+	_ = time.Now()                     // want `wall-clock time.Now`
+	_ = time.Since(epoch)              // want `wall-clock time.Since`
+	_ = time.Until(epoch)              // want `wall-clock time.Until`
+}
+
+func clean(seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Intn(6) // methods on a seeded generator are the sanctioned form
+	_ = r.Float64()
+	_ = epoch.Add(time.Hour) // deriving instants from the simulated epoch
+	_ = time.Unix(0, 0)      // constructing instants is fine; reading the clock is not
+}
+
+func suppressed() {
+	_ = time.Now() //lint:allow detrand fixture demonstrates the trailing-comment escape hatch
+	//lint:allow detrand fixture demonstrates the comment-above escape hatch
+	_ = time.Now()
+}

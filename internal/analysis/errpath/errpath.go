@@ -1,0 +1,183 @@
+// Package errpath enforces the serving/CLI error discipline: on handler
+// and command paths (the serve package and every cmd binary), an error
+// return must not vanish. A dropped error on those paths is a lost signal
+// — a response body half-written to a dead connection, a metrics line that
+// never made it out — that the daemon's counters and the operator's logs
+// will never see.
+//
+// Flagged, in scoped packages (non-test files):
+//
+//   - a call statement whose callee's final result is an error, with the
+//     whole result list discarded (w.Write(b), enc.Encode(v), ...);
+//   - an assignment that discards an error-typed result position with the
+//     blank identifier (n, _ := w.Write(b)).
+//
+// Allowed without comment: fmt.Print/Printf/Println (the stdout
+// convention) and fmt.Fprint* directed at the process streams — os.Stdout,
+// os.Stderr, or an io.Writer identifier named stdout/stderr (the repo's
+// testable-main convention, run(args, stdout, stderr io.Writer), injects
+// the process streams under exactly those names). A CLI has nowhere better
+// to report a failed terminal write. Fprint* to any other writer — an out
+// parameter, a response body, a file — is a product write and stays
+// flagged. Everything else needs handling or a //lint:allow errpath
+// <reason>.
+//
+// Deferred calls (defer f.Close()) are out of scope: the idiom is
+// pervasive and the interesting failures (write-path errors) surface
+// earlier.
+package errpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"privmem/internal/analysis"
+)
+
+// Analyzer is the errpath check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errpath",
+	Doc:  "forbid silently dropped error returns on serve/cmd paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Tests drop errors on purpose all the time (want-error paths,
+		// best-effort cleanup); the contract is about production paths.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkDiscardedCall(pass, call)
+				return true
+			case *ast.AssignStmt:
+				checkBlankError(pass, stmt)
+				return true
+			case *ast.DeferStmt, *ast.GoStmt:
+				return false // defer/go discard results by language design
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall flags a call statement whose last result is an error.
+func checkDiscardedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sig := callSignature(pass.TypesInfo, call)
+	if sig == nil || sig.Results().Len() == 0 {
+		return
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return
+	}
+	if allowedDrop(pass.TypesInfo, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s discarded: handle it, return it wrapped, or count it in a metric", calleeName(pass.TypesInfo, call))
+}
+
+// checkBlankError flags `x, _ := f()` where the blanked position is an
+// error.
+func checkBlankError(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sig := callSignature(pass.TypesInfo, call)
+	if sig == nil || sig.Results().Len() != len(as.Lhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, isIdent := lhs.(*ast.Ident)
+		if !isIdent || id.Name != "_" {
+			continue
+		}
+		if !isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		if allowedDrop(pass.TypesInfo, call) {
+			continue
+		}
+		pass.Reportf(id.Pos(), "error result of %s discarded with _: handle it, return it wrapped, or count it in a metric", calleeName(pass.TypesInfo, call))
+	}
+}
+
+// allowedDrop covers the stdout/stderr printing convention.
+func allowedDrop(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		switch dst := ast.Unparen(call.Args[0]).(type) {
+		case *ast.SelectorExpr:
+			pkg, ok := ast.Unparen(dst.X).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj, isPkg := info.Uses[pkg].(*types.PkgName)
+			if !isPkg || obj.Imported().Path() != "os" {
+				return false
+			}
+			return dst.Sel.Name == "Stdout" || dst.Sel.Name == "Stderr"
+		case *ast.Ident:
+			// The testable-main convention: a plain io.Writer named after
+			// the process stream it carries. The type constraint keeps a
+			// bytes.Buffer that happens to be called stdout flagged.
+			if dst.Name != "stdout" && dst.Name != "stderr" {
+				return false
+			}
+			tv, ok := info.Types[dst]
+			return ok && analysis.IsNamed(tv.Type, "io", "Writer")
+		}
+	}
+	return false
+}
+
+// callSignature resolves the signature of call's callee, covering both
+// static callees and function-typed values.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil // conversion, not a call
+	}
+	sig, _ := types.Unalias(tv.Type).Underlying().(*types.Signature)
+	return sig
+}
+
+func isErrorType(t types.Type) bool {
+	named := analysis.NamedType(t)
+	return named != nil && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := analysis.Callee(info, call); fn != nil {
+		if fn.Pkg() != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())) + "." + fn.Name()
+			}
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

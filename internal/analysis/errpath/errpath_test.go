@@ -1,0 +1,12 @@
+package errpath_test
+
+import (
+	"testing"
+
+	"privmem/internal/analysis/antest"
+	"privmem/internal/analysis/errpath"
+)
+
+func TestErrpathFixture(t *testing.T) {
+	antest.Run(t, "testdata/src/errpath", errpath.Analyzer)
+}

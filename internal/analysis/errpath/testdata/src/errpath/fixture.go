@@ -1,0 +1,42 @@
+// Fixture for the errpath analyzer: dropped error returns on handler/CLI
+// paths are flagged; handled errors, the stdout/stderr printing
+// conventions, deferred calls, and reasoned suppressions are not.
+package errpath
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+func mayFail() error     { return errors.New("boom") }
+func pair() (int, error) { return 0, nil }
+
+func flagged(w io.Writer, out io.Writer) {
+	mayFail()             // want `error result of errpath.mayFail discarded`
+	w.Write([]byte("x"))  // want `discarded`
+	fmt.Fprintf(out, "x") // want `discarded`
+	n, _ := pair()        // want `discarded with _`
+	_ = n
+}
+
+func clean(w io.Writer, stdout, stderr io.Writer) error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte("x")); err != nil {
+		return err
+	}
+	fmt.Println("ok")                      // the stdout convention
+	fmt.Fprintln(os.Stderr, "diag")        // the process streams
+	fmt.Fprintf(stdout, "injected stdout") // testable-main convention
+	fmt.Fprintln(stderr, "injected stderr")
+	defer mayFail() // defer discards by language design; out of scope
+	go mayFail()    // so does go
+	return nil
+}
+
+func suppressed(w io.Writer) {
+	w.Write([]byte("x")) //lint:allow errpath fixture demonstrates the escape hatch
+}

@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package ready for analysis.
+// In-package test files (package foo's _test.go files) are checked together
+// with the package proper, exactly as `go test` compiles them; external
+// test packages (package foo_test) are returned as their own Package with
+// the same ImportPath, so path-scoped analyzers cover them too.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath    string
+	Dir           string
+	Name          string
+	GoFiles       []string
+	TestGoFiles   []string
+	XTestGoFiles  []string
+	Imports       []string
+	TestImports   []string
+	XTestImports  []string
+	Standard      bool
+	Incomplete    bool
+	Error         *struct{ Err string }
+	InvalidGoFile string
+}
+
+// Load type-checks the packages matching patterns, which may be either
+// import-path patterns (./..., ./internal/serve) or a list of .go files
+// (an ad-hoc package, as `go vet file.go` accepts). dir is any directory
+// inside the module; the loader resolves the module root itself, so tests
+// running in a package directory and `make lint` running at the root see
+// the same universe. Every package in the module is loaded so that
+// intra-module imports — including ones reachable only from test files —
+// resolve without consulting the network; standard-library imports are
+// type-checked from $GOROOT/src by the compiler's source importer.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	// The source importer consults go/build's default context. Cgo never
+	// appears in this module and half-configured cgo environments make the
+	// importer shell out; pin it off for reproducible loads.
+	build.Default.CgoEnabled = false
+
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	universe, err := goList(root, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage, len(universe))
+	for _, lp := range universe {
+		byPath[lp.ImportPath] = lp
+	}
+
+	var fileArgs, pathPatterns []string
+	for _, p := range patterns {
+		if strings.HasSuffix(p, ".go") {
+			// File args are relative to the caller's dir, which may not be
+			// the module root the go tool will run in; absolutize them.
+			if !filepath.IsAbs(p) {
+				abs, err := filepath.Abs(filepath.Join(dir, p))
+				if err != nil {
+					return nil, err
+				}
+				p = abs
+			}
+			fileArgs = append(fileArgs, p)
+		} else {
+			pathPatterns = append(pathPatterns, p)
+		}
+	}
+	if len(fileArgs) > 0 && len(pathPatterns) > 0 {
+		return nil, fmt.Errorf("analysis: cannot mix .go file arguments with package patterns")
+	}
+
+	var targets []*listedPackage
+	if len(fileArgs) > 0 {
+		adhoc, err := goList(root, fileArgs)
+		if err != nil {
+			return nil, err
+		}
+		targets = adhoc
+	} else {
+		matched, err := goList(root, pathPatterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range matched {
+			if canonical, ok := byPath[lp.ImportPath]; ok {
+				targets = append(targets, canonical)
+			} else {
+				targets = append(targets, lp)
+			}
+		}
+	}
+
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		byPath:  byPath,
+		checked: map[string]*checkedPackage{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	var out []*Package
+	for _, lp := range targets {
+		pkgs, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkgs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// moduleRoot resolves the root of the module containing dir via the go
+// tool (the directory holding go.mod). Outside a module, dir itself is
+// returned.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return dir, nil
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// goList runs `go list -json` and decodes the streamed package objects.
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("go list -json decode: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+type checkedPackage struct {
+	pkg      *Package // the plain package: GoFiles only, what importers see
+	checking bool     // cycle guard
+}
+
+type loader struct {
+	fset    *token.FileSet
+	byPath  map[string]*listedPackage
+	checked map[string]*checkedPackage
+	std     types.Importer
+}
+
+// check returns the analyzable Package values for lp: the test-augmented
+// package (GoFiles + in-package test files, compiled together exactly as
+// `go test` does) and, when present, the external _test package. Both
+// resolve their imports against plain (test-free) packages, which is what
+// breaks the classic augmentation cycle: meter's tests may import a
+// package that imports plain meter.
+func (ld *loader) check(lp *listedPackage) ([]*Package, error) {
+	cp, err := ld.checkPath(lp)
+	if err != nil {
+		return nil, err
+	}
+
+	// Every test-only intra-module dependency must be checked (plain)
+	// before the augmented and xtest variants typecheck.
+	for _, imp := range append(append([]string{}, lp.TestImports...), lp.XTestImports...) {
+		if dep, ok := ld.byPath[imp]; ok && dep.ImportPath != lp.ImportPath {
+			if _, err := ld.checkPath(dep); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	analyzed := cp.pkg
+	if len(lp.TestGoFiles) > 0 {
+		files, err := ld.parse(lp.Dir, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		tpkg, info, err := ld.typecheck(lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		analyzed = &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       ld.fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		}
+	}
+	out := []*Package{analyzed}
+
+	if len(lp.XTestGoFiles) > 0 {
+		xfiles, err := ld.parse(lp.Dir, lp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		xpkg, xinfo, err := ld.typecheck(lp.ImportPath+"_test", xfiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       ld.fset,
+			Files:      xfiles,
+			Types:      xpkg,
+			Info:       xinfo,
+		})
+	}
+	return out, nil
+}
+
+// checkPath type-checks the plain (test-free) package at lp and its plain
+// intra-module dependencies, memoized per import path.
+func (ld *loader) checkPath(lp *listedPackage) (*checkedPackage, error) {
+	if cp, ok := ld.checked[lp.ImportPath]; ok {
+		if cp.checking {
+			return nil, fmt.Errorf("analysis: import cycle through %s", lp.ImportPath)
+		}
+		return cp, nil
+	}
+	cp := &checkedPackage{checking: true}
+	ld.checked[lp.ImportPath] = cp
+
+	for _, imp := range lp.Imports {
+		if dep, ok := ld.byPath[imp]; ok && dep.ImportPath != lp.ImportPath {
+			if _, err := ld.checkPath(dep); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	files, err := ld.parse(lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	tpkg, info, err := ld.typecheck(lp.ImportPath, files)
+	if err != nil {
+		return nil, err
+	}
+	cp.pkg = &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	cp.checking = false
+	return cp, nil
+}
+
+func (ld *loader) parse(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (ld *loader) typecheck(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return tpkg, info, nil
+}
+
+// Import implements types.Importer: module-internal packages come from the
+// already-checked map; everything else (the standard library) defers to
+// the compiler's source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom so vendored-in-GOROOT paths
+// resolve correctly inside standard-library packages.
+func (ld *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if cp, ok := ld.checked[path]; ok {
+		if cp.checking || cp.pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return cp.pkg.Types, nil
+	}
+	if lp, ok := ld.byPath[path]; ok {
+		cp, err := ld.checkPath(lp)
+		if err != nil {
+			return nil, err
+		}
+		return cp.pkg.Types, nil
+	}
+	if from, ok := ld.std.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, srcDir, mode)
+	}
+	return ld.std.Import(path)
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"privmem/internal/analysis/antest"
+	"privmem/internal/analysis/maporder"
+)
+
+func TestMaporderFixture(t *testing.T) {
+	antest.Run(t, "testdata/src/maporder", maporder.Analyzer)
+}

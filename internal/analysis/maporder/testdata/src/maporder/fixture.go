@@ -1,0 +1,73 @@
+// Fixture for the maporder analyzer: map-iteration order must not leak
+// into slices, output sinks, or float accumulators. The collect-then-sort
+// idiom, loop-local slices, and integer accumulation stay clean.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func flaggedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map-iteration order`
+	}
+	return keys
+}
+
+func cleanCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted two lines down: the sanctioned idiom
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func flaggedFprintf(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want `write inside range over map m`
+	}
+}
+
+func flaggedWriteMethod(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `write inside range over map m`
+	}
+}
+
+func flaggedFloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum`
+	}
+	return sum
+}
+
+func cleanIntAccum(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v // integer addition is associative; order cannot show
+	}
+	return n
+}
+
+func cleanLoopLocal(m map[string][]int) {
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v) // loop-local slice, consumed in scope
+		}
+		_ = local
+	}
+}
+
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:allow maporder fixture demonstrates the escape hatch
+	}
+	return sum
+}

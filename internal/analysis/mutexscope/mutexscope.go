@@ -1,0 +1,242 @@
+// Package mutexscope extends go vet's copylocks with the lock-scope
+// contract the serving layer depends on: a sync.Mutex/RWMutex must never be
+// held across a blocking operation. The repo's concurrency building blocks
+// (the sharded report cache, the singleflight group, the world memo) all
+// follow the same shape — lock, mutate bookkeeping, unlock, then wait — and
+// a channel wait that slips inside the critical section turns a
+// microsecond lock into one held for a whole simulation, serializing every
+// request that hashes to the same shard.
+//
+// Flagged, for a critical section between x.Lock()/x.RLock() and the
+// matching x.Unlock()/x.RUnlock() in the same statement list:
+//
+//   - channel sends, receives, and select statements;
+//   - sync.WaitGroup.Wait and time.Sleep calls;
+//   - calls that take a context.Context argument (the repo's marker for
+//     "this can block on cancellation or a semaphore").
+//
+// A nested early-return branch that unlocks before waiting (the
+// singleflight follower pattern) is recognised: a blocking operation
+// preceded by the matching unlock within the same nested statement is not
+// flagged. Critical sections closed by `defer x.Unlock()` are checked to
+// the end of the function.
+//
+// Value copies of sync primitives are go vet copylocks' job and are not
+// re-reported here.
+package mutexscope
+
+import (
+	"go/ast"
+	"go/types"
+
+	"privmem/internal/analysis"
+)
+
+// Analyzer is the mutexscope check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutexscope",
+	Doc:  "flag mutexes held across blocking operations",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkBlock(pass, block)
+			return true
+		})
+	}
+	return nil
+}
+
+// lockCall matches x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() on a
+// sync.Mutex or sync.RWMutex and returns the receiver's printed form (the
+// lock identity) and the method name.
+func lockCall(info *types.Info, stmt ast.Stmt) (recv, method string, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	return lockCallExpr(info, es.X)
+}
+
+func lockCallExpr(info *types.Info, e ast.Expr) (recv, method string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func matchingUnlock(method string) string {
+	if method == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func checkBlock(pass *analysis.Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		recv, method, ok := lockCall(pass.TypesInfo, stmt)
+		if !ok || (method != "Lock" && method != "RLock") {
+			continue
+		}
+		unlock := matchingUnlock(method)
+
+		// defer x.Unlock() directly after: the critical section runs to the
+		// end of the enclosing function — every later statement in this
+		// block is inside it.
+		rest := block.List[i+1:]
+		if len(rest) > 0 {
+			if ds, isDefer := rest[0].(*ast.DeferStmt); isDefer {
+				if r, m, ok := lockCallExpr(pass.TypesInfo, ds.Call); ok && r == recv && m == unlock {
+					rest = rest[1:]
+					for _, s := range rest {
+						reportBlocking(pass, s, recv, nil)
+					}
+					continue
+				}
+			}
+		}
+
+		// Explicit unlock: scan siblings up to the first statement that
+		// releases the lock. Nested statements may unlock early (the
+		// singleflight follower branch); a blocking op preceded by the
+		// matching unlock inside the same sibling is fine, and once any
+		// sibling contains a release the lock state past it is unknown, so
+		// the scan stops (conservative: no report over a maybe-released
+		// lock).
+		for _, s := range rest {
+			reportBlocking(pass, s, recv, func(n ast.Node) bool {
+				return unlockedBefore(pass.TypesInfo, s, n, recv, unlock)
+			})
+			if containsUnlock(pass.TypesInfo, s, recv, unlock) {
+				break
+			}
+		}
+	}
+}
+
+// containsUnlock reports whether a recv.unlock() call appears anywhere
+// inside stmt.
+func containsUnlock(info *types.Info, stmt ast.Stmt, recv, unlock string) bool {
+	found := false
+	ast.Inspect(stmt, func(m ast.Node) bool {
+		if found || m == nil {
+			return false
+		}
+		if e, ok := m.(ast.Expr); ok {
+			if r, meth, ok2 := lockCallExpr(info, e); ok2 && r == recv && meth == unlock {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// unlockedBefore reports whether, inside statement s, a recv.unlock() call
+// appears at a position before node n (an early-return branch releasing
+// the lock before its wait).
+func unlockedBefore(info *types.Info, s ast.Stmt, n ast.Node, recv, unlock string) bool {
+	released := false
+	ast.Inspect(s, func(m ast.Node) bool {
+		if released || m == nil {
+			return false
+		}
+		if m.Pos() >= n.Pos() {
+			return false // subtree starts at or after n; nothing in it precedes n
+		}
+		if e, ok := m.(ast.Expr); ok {
+			if r, meth, ok2 := lockCallExpr(info, e); ok2 && r == recv && meth == unlock {
+				released = true
+				return false
+			}
+		}
+		return true
+	})
+	return released
+}
+
+// reportBlocking reports every blocking operation inside stmt. allowed,
+// when non-nil, suppresses a finding (used for nested unlock-then-wait
+// branches).
+func reportBlocking(pass *analysis.Pass, stmt ast.Stmt, recv string, allowed func(ast.Node) bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		// Function literals capture the lock but run later, possibly after
+		// release; their bodies are out of scope for this critical section.
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		desc := ""
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			desc = "channel send"
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				desc = "channel receive"
+			}
+		case *ast.SelectStmt:
+			desc = "select"
+		case *ast.CallExpr:
+			desc = blockingCall(pass.TypesInfo, x)
+		}
+		if desc == "" {
+			return true
+		}
+		if allowed != nil && allowed(n) {
+			return true
+		}
+		pass.Reportf(n.Pos(), "%s while holding %s: release the lock before blocking (lock bookkeeping, unlock, then wait)", desc, recv)
+		// A reported select's comm clauses would re-report each receive;
+		// one finding per blocking construct is enough.
+		if _, isSelect := n.(*ast.SelectStmt); isSelect {
+			return false
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that block: time.Sleep, WaitGroup.Wait,
+// and anything taking a context.Context.
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return ""
+	}
+	if analysis.IsPackageFunc(fn, "time", "Sleep") {
+		return "time.Sleep"
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		if recv := sig.Recv(); recv != nil && fn.Name() == "Wait" && analysis.IsNamed(recv.Type(), "sync", "WaitGroup") {
+			return "sync.WaitGroup.Wait"
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if analysis.IsNamed(sig.Params().At(i).Type(), "context", "Context") {
+				return "context-taking call " + fn.Name()
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package mutexscope_test
+
+import (
+	"testing"
+
+	"privmem/internal/analysis/antest"
+	"privmem/internal/analysis/mutexscope"
+)
+
+func TestMutexscopeFixture(t *testing.T) {
+	antest.Run(t, "testdata/src/mutexscope", mutexscope.Analyzer)
+}

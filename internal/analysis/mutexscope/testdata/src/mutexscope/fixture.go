@@ -1,0 +1,91 @@
+// Fixture for the mutexscope analyzer: blocking while a sync mutex is held
+// is flagged; the lock-bookkeep-unlock-wait shape, the singleflight
+// follower pattern (unlock inside an early-return branch before its wait),
+// and function literals that merely capture the lock are clean.
+package mutexscope
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+	n  int
+}
+
+func blockOn(ctx context.Context) {}
+
+func (s *store) flaggedRecv() {
+	s.mu.Lock()
+	<-s.ch // want `channel receive while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *store) flaggedSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *store) flaggedDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding s.mu`
+}
+
+func (s *store) flaggedSelect() {
+	s.rw.RLock()
+	select { // want `select while holding s.rw`
+	case <-s.ch:
+	default:
+	}
+	s.rw.RUnlock()
+}
+
+func (s *store) flaggedWaitGroup() {
+	s.mu.Lock()
+	s.wg.Wait() // want `sync.WaitGroup.Wait while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *store) flaggedContextCall(ctx context.Context) {
+	s.mu.Lock()
+	blockOn(ctx) // want `context-taking call blockOn while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *store) cleanUnlockThenWait() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	<-s.ch // lock released above: the sanctioned shape
+}
+
+func (s *store) cleanFollowerBranch(leader bool) {
+	s.mu.Lock()
+	if !leader {
+		s.mu.Unlock()
+		<-s.ch // unlocked earlier in this branch: the singleflight follower
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *store) cleanFuncLit() {
+	s.mu.Lock()
+	wait := func() { <-s.ch } // runs later, after release
+	s.mu.Unlock()
+	wait()
+}
+
+func (s *store) suppressed() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) //lint:allow mutexscope fixture demonstrates the escape hatch
+	s.mu.Unlock()
+}

@@ -1,0 +1,93 @@
+// Package purecall flags discarded results of pure methods — calls used as
+// statements when the callee has no side effects, so dropping the return
+// value makes the call a no-op. The motivating bug class: s.Resample(step)
+// computes and throws away a resampled series, while the author believed s
+// itself changed, silently running the rest of the pipeline at the wrong
+// resolution.
+//
+// go vet's unusedresult analyzer cannot express this: its -funcs flag
+// matches package-level functions only, and its method support is limited
+// to the fixed func() string shape (see the vendored
+// unusedresult.go in GOROOT — methods are matched solely via
+// stringmethods). This analyzer carries the method inventory the vet flag
+// audit wanted (DESIGN.md §8): the timeseries.Series pure API, configured
+// per receiver type so fixture tests and the real tree share the
+// mechanism.
+package purecall
+
+import (
+	"go/ast"
+	"go/types"
+
+	"privmem/internal/analysis"
+)
+
+// PureMethods maps a receiver type (package path, type name) to the
+// methods that are pure: they return derived values and never mutate the
+// receiver.
+type PureMethods map[[2]string][]string
+
+// DefaultConfig covers the timeseries.Series pure API. Deliberately absent:
+// AddInPlace (mutates), WriteCSV (its value IS its side effect), and the
+// chaining mutators Scale/Clamp/Map — they return the receiver for
+// chaining but update it in place, so a discarded result is still a real
+// operation.
+var DefaultConfig = PureMethods{
+	{"privmem/internal/timeseries", "Series"}: {
+		"Resample", "Window", "Windows", "Clone", "Slice",
+		"Diff", "MovingAverage", "Binary", "DetectEdges", "Add", "Sub",
+		"Sum", "Mean", "Max", "Min", "Variance", "Std", "Energy",
+		"Len", "End", "TimeAt", "IndexOf", "At", "String",
+	},
+}
+
+// Analyzer is the purecall check over the default (timeseries) inventory.
+var Analyzer = New(DefaultConfig)
+
+// New returns a purecall analyzer for the given method inventory.
+func New(cfg PureMethods) *analysis.Analyzer {
+	index := map[[3]string]bool{}
+	for recv, methods := range cfg {
+		for _, m := range methods {
+			index[[3]string{recv[0], recv[1], m}] = true
+		}
+	}
+	a := &analysis.Analyzer{
+		Name: "purecall",
+		Doc:  "flag discarded results of pure methods (vet's unusedresult cannot match methods)",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.Callee(pass.TypesInfo, call)
+				if fn == nil {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return true
+				}
+				named := analysis.NamedType(sig.Recv().Type())
+				if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+					return true
+				}
+				key := [3]string{named.Obj().Pkg().Path(), named.Obj().Name(), fn.Name()}
+				if index[key] {
+					pass.Reportf(call.Pos(),
+						"result of (%s.%s).%s discarded: the method is pure, so this call does nothing", named.Obj().Pkg().Name(), named.Obj().Name(), fn.Name())
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

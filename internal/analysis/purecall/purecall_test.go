@@ -1,0 +1,38 @@
+package purecall_test
+
+import (
+	"slices"
+	"testing"
+
+	"privmem/internal/analysis/antest"
+	"privmem/internal/analysis/purecall"
+)
+
+func TestPurecallFixture(t *testing.T) {
+	cfg := purecall.PureMethods{
+		{"purecall", "Series"}: {"Derive", "Total"},
+	}
+	antest.Run(t, "testdata/src/purecall", purecall.New(cfg))
+}
+
+// Regression for the inventory itself: Scale, Clamp, and Map looked pure
+// (they return a *Series) but are chaining mutators — they update the
+// receiver in place and return it for chaining, so a discarded result is
+// still a real operation. Listing them once produced false positives on
+// sundance's clamp and the timeseries mutation tests.
+func TestDefaultConfigExcludesMutators(t *testing.T) {
+	methods := purecall.DefaultConfig[[2]string{"privmem/internal/timeseries", "Series"}]
+	if len(methods) == 0 {
+		t.Fatal("default inventory for timeseries.Series is empty")
+	}
+	for _, banned := range []string{"Scale", "Clamp", "Map", "AddInPlace", "WriteCSV"} {
+		if slices.Contains(methods, banned) {
+			t.Errorf("%s is in the pure inventory but mutates its receiver (or exists for its side effect)", banned)
+		}
+	}
+	for _, required := range []string{"Resample", "Window", "Clone", "Sum"} {
+		if !slices.Contains(methods, required) {
+			t.Errorf("pure method %s missing from the default inventory", required)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Fixture for the purecall analyzer. The test binds the method inventory
+// to this package's Series type: Derive and Total are registered pure,
+// AddInPlace is not (it mutates), so only discarded Derive/Total results
+// are flagged.
+package purecall
+
+type Series struct{ vals []float64 }
+
+func (s *Series) Derive(k int) *Series {
+	out := &Series{vals: make([]float64, len(s.vals))}
+	copy(out.vals, s.vals)
+	return out
+}
+
+func (s *Series) Total() float64 {
+	var t float64
+	for _, v := range s.vals {
+		t += v
+	}
+	return t
+}
+
+func (s *Series) AddInPlace(o *Series) {
+	for i := range s.vals {
+		s.vals[i] += o.vals[i]
+	}
+}
+
+func flagged(s *Series) {
+	s.Derive(2) // want `result of \(purecall.Series\).Derive discarded`
+	s.Total()   // want `the method is pure, so this call does nothing`
+}
+
+func clean(s *Series) {
+	d := s.Derive(2)
+	_ = d.Total()
+	s.AddInPlace(d) // mutator: a statement call is the point
+}
+
+func suppressed(s *Series) {
+	s.Total() //lint:allow purecall fixture demonstrates the escape hatch
+}

@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"privmem/internal/analysis/antest"
+	"privmem/internal/analysis/seedflow"
+)
+
+func TestSeedflowFixture(t *testing.T) {
+	antest.Run(t, "testdata/src/seedflow", seedflow.Analyzer)
+}

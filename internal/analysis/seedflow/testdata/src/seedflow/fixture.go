@@ -1,0 +1,46 @@
+// Fixture for the seedflow analyzer: rand sources must be seeded with a
+// plain seed value or an FNV-1a deriver call, never ad-hoc arithmetic.
+package seedflow
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// subSeed mirrors the repository's deriver: its name is on the default
+// allowlist, so calls to it are sanctioned seed sources.
+func subSeed(base int64, label string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(label))
+	return int64(h.Sum64())
+}
+
+func flagged(seed int64) {
+	_ = rand.New(rand.NewSource(seed + 6))          // want `ad-hoc arithmetic`
+	_ = rand.NewSource(seed ^ 0x9e37)               // want `ad-hoc arithmetic`
+	_ = rand.NewSource(seed * 31)                   // want `ad-hoc arithmetic`
+	_ = randv2.NewPCG(uint64(seed+1), uint64(seed)) // want `ad-hoc arithmetic`
+}
+
+type opts struct{ Seed int64 }
+
+func clean(seed int64, o opts) {
+	_ = rand.NewSource(seed)                    // plain variable
+	_ = rand.NewSource(o.Seed)                  // field selector
+	_ = rand.NewSource(42)                      // literal
+	_ = rand.NewSource(-1)                      // negated literal
+	_ = rand.NewSource(int64(uint64(seed)))     // conversions are looked through
+	_ = rand.NewSource(subSeed(seed, "stream")) // deriver call
+	h := fnv.New64a()
+	_ = rand.NewSource(int64(h.Sum64())) // reading the hash state IS the derivation
+	_ = randv2.NewPCG(uint64(seed), uint64(o.Seed))
+}
+
+func suppressed(seed int64) {
+	_ = rand.NewSource(seed + 1) //lint:allow seedflow fixture demonstrates the escape hatch
+}

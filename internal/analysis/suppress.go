@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression policy. A finding is silenced by a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The reason is mandatory: an allow without one is not a
+// suppression, it is a new diagnostic — the whole point of the escape hatch
+// is that every accepted violation carries a written justification a
+// reviewer can audit (DESIGN.md §8).
+
+const allowPrefix = "//lint:allow"
+
+type suppression struct {
+	file     string
+	line     int // line the comment sits on
+	analyzer string
+	reason   string
+}
+
+type suppressionSet struct {
+	// byKey indexes well-formed suppressions by file:line:analyzer for both
+	// the comment's own line and the line below it.
+	byKey map[string]bool
+	// malformed holds allow comments with no reason or no analyzer name;
+	// they are re-reported as findings.
+	malformed []Diagnostic
+}
+
+func suppressionKey(file string, line int, analyzer string) string {
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte('#')
+	b.WriteString(analyzer)
+	b.WriteByte('#')
+	// Lines are small; manual itoa avoids importing strconv for one call.
+	if line == 0 {
+		b.WriteByte('0')
+	}
+	var digits [20]byte
+	n := len(digits)
+	for line > 0 {
+		n--
+		digits[n] = byte('0' + line%10)
+		line /= 10
+	}
+	b.Write(digits[n:])
+	return b.String()
+}
+
+// collectSuppressions scans every comment in files for //lint:allow
+// directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	set := &suppressionSet{byKey: map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				pos := fset.Position(c.Pos())
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lintallow",
+						Message:  "//lint:allow needs an analyzer name and a written reason: //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				// The directive covers findings on its own line (trailing
+				// comment) and on the next line (comment above).
+				set.byKey[suppressionKey(pos.Filename, pos.Line, name)] = true
+				set.byKey[suppressionKey(pos.Filename, pos.Line+1, name)] = true
+			}
+		}
+	}
+	return set
+}
+
+// filter drops suppressed diagnostics and appends the malformed-allow
+// findings.
+func (s *suppressionSet) filter(diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if s.byKey[suppressionKey(d.Pos.Filename, d.Pos.Line, d.Analyzer)] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, s.malformed...)
+}

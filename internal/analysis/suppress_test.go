@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// The suppression contract in one place: a well-formed //lint:allow
+// silences findings for its analyzer on its own line and the line below; a
+// reason-less allow suppresses nothing and is itself reported; an allow
+// for a different analyzer does not apply.
+func TestSuppressionContract(t *testing.T) {
+	const src = `package p
+
+func f() {
+	g() //lint:allow fake covered by issue 7
+	//lint:allow fake the comment-above form
+	g()
+	g() //lint:allow fake
+	g() //lint:allow other this reasons about a different analyzer
+}
+func g() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := collectSuppressions(fset, []*ast.File{f})
+
+	fake := func(line int) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "p.go", Line: line, Column: 2},
+			Analyzer: "fake",
+			Message:  "finding",
+		}
+	}
+	out := set.filter([]Diagnostic{fake(4), fake(6), fake(7), fake(8)})
+
+	byLine := map[int]string{}
+	for _, d := range out {
+		byLine[d.Pos.Line] = d.Analyzer
+	}
+	if _, ok := byLine[4]; ok {
+		t.Error("line 4: trailing allow with a reason did not suppress")
+	}
+	if _, ok := byLine[6]; ok {
+		t.Error("line 6: comment-above allow did not suppress")
+	}
+	if a := byLine[7]; a != "lintallow" && a != "fake" {
+		t.Errorf("line 7 diagnostics = %v, want the finding AND the malformed-allow report", byLine)
+	}
+	var sawFinding7, sawMalformed7, sawFinding8 bool
+	for _, d := range out {
+		switch {
+		case d.Pos.Line == 7 && d.Analyzer == "fake":
+			sawFinding7 = true
+		case d.Pos.Line == 7 && d.Analyzer == "lintallow":
+			sawMalformed7 = true
+		case d.Pos.Line == 8 && d.Analyzer == "fake":
+			sawFinding8 = true
+		}
+	}
+	if !sawFinding7 {
+		t.Error("line 7: a reason-less allow must not suppress the finding")
+	}
+	if !sawMalformed7 {
+		t.Error("line 7: a reason-less allow must be reported as lintallow")
+	}
+	if !sawFinding8 {
+		t.Error("line 8: an allow naming another analyzer must not suppress")
+	}
+}

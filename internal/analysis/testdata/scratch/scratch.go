@@ -1,0 +1,52 @@
+// Package scratch is the deliberately-violating fixture behind the
+// acceptance criterion "a deliberately-seeded violation demonstrates each
+// analyzer fires". Every analyzer in the suite must report exactly one
+// finding here; cmd/privmemvet's tests run the driver over this file (an
+// ad-hoc file argument gets the full suite regardless of package scoping)
+// and count the findings per analyzer. The testdata path keeps the file
+// out of ./... builds and out of the real sweep.
+package scratch
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"privmem/internal/timeseries"
+)
+
+// detrand: a draw from the process-global generator.
+func detrandViolation() int { return rand.Intn(6) }
+
+// seedflow: ad-hoc seed arithmetic at a rand.NewSource call.
+func seedflowViolation(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 6))
+}
+
+// maporder: map-order append with no later sort in the function.
+func maporderViolation(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mutexscope: sleeping inside the critical section.
+func mutexscopeViolation(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}
+
+// errpath: a write whose error vanishes.
+func errpathViolation(w io.Writer) {
+	fmt.Fprintf(w, "x")
+}
+
+// purecall: a pure timeseries method called for nothing.
+func purecallViolation(s *timeseries.Series) {
+	s.Sum()
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"privmem/internal/nettrace"
@@ -51,10 +52,18 @@ func Train(lab *nettrace.Capture, window time.Duration) (*Classifier, error) {
 		return nil, fmt.Errorf("fingerprint train: %w: empty capture", ErrBadInput)
 	}
 
-	// Global z-scoring parameters.
+	// Devices are visited in sorted order here and in the centroid
+	// accumulation below: float accumulation is order-sensitive at the ULP
+	// level, and a map-order walk would make mean/std — and with them every
+	// centroid — differ bit-wise from run to run.
+	devices := make([]string, 0, len(feats))
+	for name := range feats {
+		devices = append(devices, name)
+	}
+	sort.Strings(devices)
 	var all [][]float64
-	for _, fs := range feats {
-		for _, f := range fs {
+	for _, name := range devices {
+		for _, f := range feats[name] {
 			all = append(all, f.Vector())
 		}
 	}
@@ -79,7 +88,8 @@ func Train(lab *nettrace.Capture, window time.Duration) (*Classifier, error) {
 
 	sums := map[nettrace.Class][]float64{}
 	counts := map[nettrace.Class]int{}
-	for dev, fs := range feats {
+	for _, dev := range devices {
+		fs := feats[dev]
 		class, err := lab.DeviceClass(dev)
 		if err != nil {
 			return nil, fmt.Errorf("fingerprint train: %w", err)

@@ -2,6 +2,7 @@ package fingerprint
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -184,5 +185,26 @@ func TestBayesAndCentroidAgreeOnDistinctiveClasses(t *testing.T) {
 	}
 	if idNB.Predicted["hub-01"] != nettrace.ClassHub {
 		t.Error("bayes missed the hub")
+	}
+}
+
+// Regression for the sorted-device walk in Train: the z-scoring sums and
+// per-class centroid accumulators are floating-point reductions, so
+// visiting the per-device feature map in Go's randomized map order made
+// mean, std, and every centroid differ by a few ULPs from run to run.
+// Training twice on the same capture must produce bit-identical
+// classifiers.
+func TestTrainIsDeterministic(t *testing.T) {
+	lab := labCapture(t, 4)
+	a, err := Train(lab, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(lab, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Train is not deterministic across runs:\n%+v\nvs\n%+v", a, b)
 	}
 }

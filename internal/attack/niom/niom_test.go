@@ -153,7 +153,7 @@ func TestConfigValidation(t *testing.T) {
 		})
 	}
 	t.Run("short trace", func(t *testing.T) {
-		s := timeseries.MustNew(time.Now(), time.Minute, 5)
+		s := timeseries.MustNew(time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC), time.Minute, 5)
 		if _, err := DetectThreshold(s, DefaultConfig()); !errors.Is(err, ErrBadConfig) {
 			t.Errorf("short trace error = %v", err)
 		}

@@ -172,7 +172,7 @@ func TableZKBilling(opts Options) (*Report, error) {
 	// Commitment randomness comes from a seeded stream so the artifact is
 	// reproducible (production meters must pass crypto/rand.Reader); the
 	// commit/verify timings belong to the root benchmarks, not the report.
-	m := zkmeter.NewMeter(g, rand.New(rand.NewSource(seed+6)))
+	m := zkmeter.NewMeter(g, rand.New(rand.NewSource(subSeed(seed, "zk-commitments"))))
 	for _, r := range readings {
 		if err := m.Record(r); err != nil {
 			return nil, fmt.Errorf("table zk: %w", err)

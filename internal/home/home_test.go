@@ -3,6 +3,7 @@ package home
 import (
 	"errors"
 	"math"
+	"sort"
 	"testing"
 	"time"
 
@@ -36,10 +37,18 @@ func TestSimulateShapes(t *testing.T) {
 
 func TestAggregateIsSumOfAppliances(t *testing.T) {
 	tr := simulateDefault(t, 2)
+	// Sum appliances in sorted-name order: float addition is order
+	// sensitive, and a map-order sum would move the comparison below by a
+	// few ULPs from run to run.
+	names := make([]string, 0, len(tr.Appliances))
+	for name := range tr.Appliances {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	for _, i := range []int{0, 1000, 5000, tr.Aggregate.Len() - 1} {
 		var sum float64
-		for _, dev := range tr.Appliances {
-			sum += dev.Values[i]
+		for _, name := range names {
+			sum += tr.Appliances[name].Values[i]
 		}
 		if math.Abs(sum-tr.Aggregate.Values[i]) > 1e-9 {
 			t.Errorf("sample %d: aggregate %.2f != sum %.2f", i, tr.Aggregate.Values[i], sum)

@@ -31,7 +31,7 @@ func FuzzReadCapture(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte("not a capture at all"))
 	f.Add([]byte(captureMagic + "\x01\x02\x03\x04\x05\x06\x07\x08")) // truncated header
-	f.Add(header(0xFFFFFFFF))                                       // hostile device count
+	f.Add(header(0xFFFFFFFF))                                        // hostile device count
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := ReadCapture(bytes.NewReader(data))

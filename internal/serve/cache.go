@@ -59,7 +59,7 @@ func NewCache(maxEntries int) *Cache {
 
 func (c *Cache) shardFor(key string) *shard {
 	h := fnv.New32a()
-	h.Write([]byte(key))
+	h.Write([]byte(key)) //lint:allow errpath hash/fnv's Write is documented to never return an error
 	return &c.shards[h.Sum32()%numShards]
 }
 

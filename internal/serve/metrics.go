@@ -37,6 +37,11 @@ type Metrics struct {
 	ForcedEvictions atomic.Int64
 	// NotFound counts requests naming unknown experiment ids (404s).
 	NotFound atomic.Int64
+	// WriteErrors counts response-body writes that failed, almost always a
+	// client that disconnected mid-response. The handler has nothing left
+	// to tell that client; the counter is the signal that bodies are being
+	// truncated.
+	WriteErrors atomic.Int64
 	// InFlight gauges requests currently being handled.
 	InFlight atomic.Int64
 	// GenInFlight gauges simulations currently running in the worker pool.
@@ -47,8 +52,10 @@ type Metrics struct {
 }
 
 // WriteText renders every metric as one "name value" line in a fixed order,
-// the expvar-style text form served at /metrics.
-func (m *Metrics) WriteText(w io.Writer) {
+// the expvar-style text form served at /metrics. It returns the first
+// write error; the caller decides whether that counts as a WriteError (the
+// scrape path does) or aborts outright.
+func (m *Metrics) WriteText(w io.Writer) error {
 	rows := []struct {
 		name string
 		v    *atomic.Int64
@@ -65,11 +72,15 @@ func (m *Metrics) WriteText(w io.Writer) {
 		{"memoird_generator_panics_total", &m.Panics},
 		{"memoird_forced_evictions_total", &m.ForcedEvictions},
 		{"memoird_not_found_total", &m.NotFound},
+		{"memoird_write_errors_total", &m.WriteErrors},
 		{"memoird_inflight", &m.InFlight},
 		{"memoird_generations_inflight", &m.GenInFlight},
 		{"memoird_request_latency_micros_total", &m.LatencyMicros},
 	}
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s %d\n", r.name, r.v.Load())
+		if _, err := fmt.Fprintf(w, "%s %d\n", r.name, r.v.Load()); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -142,17 +142,24 @@ func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	s.write(w, []byte("ok\n"))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.metrics.WriteText(w)
-	fmt.Fprintf(w, "memoird_cache_entries %d\n", s.cache.Len())
+	if err := s.metrics.WriteText(w); err != nil {
+		// The scraper hung up mid-scrape; the truncated body is already
+		// unusable, so count the failure and stop writing.
+		s.metrics.WriteErrors.Add(1)
+		return
+	}
+	if _, err := fmt.Fprintf(w, "memoird_cache_entries %d\n", s.cache.Len()); err != nil {
+		s.metrics.WriteErrors.Add(1)
+	}
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"experiments": experiments.IDs(),
 		"ablations":   experiments.AblationIDs(),
 	})
@@ -265,14 +272,14 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	// Entries hold canonical pre-rendered JSON; splice them verbatim so the
 	// suite response is byte-identical run to run.
 	w.Header().Set("Content-Type", "application/json")
-	w.Write([]byte(`{"reports":[`))
+	s.write(w, []byte(`{"reports":[`))
 	for i, e := range entries {
 		if i > 0 {
-			w.Write([]byte(","))
+			s.write(w, []byte(","))
 		}
-		w.Write(e.JSON)
+		s.write(w, e.JSON)
 	}
-	w.Write([]byte("]}\n"))
+	s.write(w, []byte("]}\n"))
 }
 
 // getOrGenerate returns the entry for (id, opts) from the cache, from a
@@ -379,11 +386,11 @@ func (s *Server) writeEntry(w http.ResponseWriter, r *http.Request, e *Entry, so
 	w.Header().Set("X-Memoird-Cache", source)
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(e.JSON)
+		s.write(w, e.JSON)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Write(e.Text)
+	s.write(w, e.Text)
 }
 
 // writeError maps generation failures onto HTTP statuses: expired budgets
@@ -406,7 +413,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // response — 400, 404, 500, 504 — carries {"error": ..., "status": ...} so
 // programmatic clients never parse free-form text.
 func (s *Server) httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]any{"error": msg, "status": status})
+	s.writeJSON(w, status, map[string]any{"error": msg, "status": status})
 }
 
 // newEntry renders a report once into both served encodings.
@@ -418,8 +425,21 @@ func newEntry(key string, rep *experiments.Report) (*Entry, error) {
 	return &Entry{Key: key, Text: []byte(rep.Render()), JSON: js}, nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// write sends b on the response body. A failed write means the client went
+// away mid-response; nothing can be re-sent, so the failure is counted in
+// WriteErrors rather than dropped.
+func (s *Server) write(w io.Writer, b []byte) {
+	if _, err := w.Write(b); err != nil {
+		s.metrics.WriteErrors.Add(1)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Marshal errors cannot happen for the map/string shapes passed
+		// here, so an Encode failure is a mid-body disconnect.
+		s.metrics.WriteErrors.Add(1)
+	}
 }

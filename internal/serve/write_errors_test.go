@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// failWriter is a ResponseWriter whose body writes always fail, modelling a
+// client that disconnected mid-response.
+type failWriter struct {
+	header http.Header
+}
+
+func (f *failWriter) Header() http.Header       { return f.header }
+func (f *failWriter) WriteHeader(int)           {}
+func (f *failWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+
+// Regression for the response-write error discipline (the errpath
+// analyzer's contract): a failed body write must not vanish — it is counted
+// in memoird_write_errors_total, the operator's signal that clients are
+// receiving truncated bodies.
+func TestFailedResponseWritesAreCounted(t *testing.T) {
+	f := &fakeRun{}
+	s, h := newTestServer(t, Config{Run: f.run})
+
+	for _, path := range []string{"/healthz", "/metrics", "/v1/experiments"} {
+		before := s.metrics.WriteErrors.Load()
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		h.ServeHTTP(&failWriter{header: http.Header{}}, req)
+		if after := s.metrics.WriteErrors.Load(); after <= before {
+			t.Errorf("GET %s with a dead client: WriteErrors %d -> %d, want an increment", path, before, after)
+		}
+	}
+
+	// A successful scrape must not count.
+	before := s.metrics.WriteErrors.Load()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if after := s.metrics.WriteErrors.Load(); after != before {
+		t.Errorf("healthy scrape moved WriteErrors %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,64 @@
+package timeseries
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFuzzCorpusLoads walks the checked-in FuzzReadCSV corpus and feeds
+// every entry through the decoder. The fuzz engine already replays these as
+// seeds, but this test makes the corpus a first-class regression suite: it
+// fails loudly if an entry no longer parses as the "go test fuzz v1"
+// encoding, and it pins the corpus size so entries cannot silently vanish.
+func TestFuzzCorpusLoads(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadCSV")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 hand-written seeds plus the minimized entries harvested from fuzz
+	// runs; shrinking the corpus is a deliberate act, not an accident.
+	const minEntries = 16
+	if len(entries) < minEntries {
+		t.Fatalf("corpus holds %d entries, want at least %d", len(entries), minEntries)
+	}
+	for _, e := range entries {
+		data := decodeCorpusEntry(t, filepath.Join(dir, e.Name()), "string")
+		// Hostile inputs may be rejected (any error is fine), but an
+		// accepted series must satisfy the decoder's own invariants.
+		s, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			continue
+		}
+		if s.Len() == 0 || s.Step <= 0 || len(s.Values) != s.Len() {
+			t.Errorf("%s: accepted series is malformed: len=%d step=%v", e.Name(), s.Len(), s.Step)
+		}
+	}
+}
+
+// decodeCorpusEntry parses one file in Go's native fuzz corpus format: a
+// "go test fuzz v1" header followed by one Go-quoted literal per fuzz
+// argument, wrapped in its type constructor (here a single string).
+func decodeCorpusEntry(t *testing.T, path, wantType string) string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		t.Fatalf("%s: not a v1 corpus file with one argument (%d lines)", path, len(lines))
+	}
+	inner, ok := strings.CutPrefix(lines[1], wantType+"(")
+	if !ok || !strings.HasSuffix(inner, ")") {
+		t.Fatalf("%s: argument is not a %s literal: %.40q", path, wantType, lines[1])
+	}
+	val, err := strconv.Unquote(strings.TrimSuffix(inner, ")"))
+	if err != nil {
+		t.Fatalf("%s: unquoting corpus literal: %v", path, err)
+	}
+	return val
+}

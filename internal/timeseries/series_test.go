@@ -226,11 +226,11 @@ func TestIndexOfFloorsPreStart(t *testing.T) {
 		offset time.Duration
 		want   int
 	}{
-		{-time.Second, -1},       // inside (Start-Step, Start): the bug
-		{-59 * time.Second, -1},  // still the bug window
-		{-time.Minute, -1},       // exactly one step early
-		{-90 * time.Second, -2},  // deeper pre-start, non-aligned
-		{-2 * time.Minute, -2},   // aligned
+		{-time.Second, -1},      // inside (Start-Step, Start): the bug
+		{-59 * time.Second, -1}, // still the bug window
+		{-time.Minute, -1},      // exactly one step early
+		{-90 * time.Second, -2}, // deeper pre-start, non-aligned
+		{-2 * time.Minute, -2},  // aligned
 		{0, 0},
 		{59 * time.Second, 0},
 		{time.Minute, 1},
