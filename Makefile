@@ -11,19 +11,20 @@ GO ?= go
 COVER_FLOOR ?= 70
 COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve ./cmd/benchjson
 
-# Second coverage tier: cmd/memoird's main is signal/listen plumbing that
-# only an end-to-end run exercises, so it carries a lower floor — set to
-# what the package passes today, so coverage can only ratchet up.
+# Second coverage tier: the daemon/load-generator mains are signal/listen
+# plumbing that only an end-to-end run exercises, so they carry a lower
+# floor — set to what the packages pass today, so coverage can only ratchet
+# up.
 COVER_FLOOR_CMD ?= 35
-COVER_PKGS_CMD ?= ./cmd/memoird
+COVER_PKGS_CMD ?= ./cmd/memoird ./cmd/memoirload
 
 # Per-target budget for the fuzz smoke. CI uses the default; raise it for a
 # longer local hunt, e.g. `make fuzz FUZZTIME=10m`.
 FUZZTIME ?= 30s
 
-.PHONY: check vet lint build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-diff figures smoke memoird
+.PHONY: check vet lint build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-diff bench-load figures smoke smoke-load memoird
 
-check: vet lint build race cover fuzz smoke bench-diff
+check: vet lint build race cover fuzz smoke smoke-load bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -114,6 +115,23 @@ figures:
 
 smoke:
 	$(GO) run ./cmd/memoird -smoke
+
+# smoke-load boots an in-process memoird and drives a one-second open-loop
+# load through cmd/memoirload: the gate proves the generator, the serving
+# tier, and the histogram line survive real traffic. The tiny key space
+# keeps the run cache-dominated, so it finishes in seconds.
+smoke-load:
+	$(GO) run ./cmd/memoirload -selfserve -duration 1s -rps 25 -experiments t6 -seeds 2 -warm
+
+# bench-load snapshots the serving tier's latency distribution under a
+# Zipf-shaped open-loop load as BENCH_load.json (p50/p95/p99 columns via
+# the shared log2 histogram). -warm primes every key first so the timed
+# window measures the steady cache-dominated state the tier is designed
+# for, with the long Zipf tail still forcing some generation traffic.
+bench-load:
+	$(GO) run ./cmd/memoirload -selfserve -duration 5s -rps 200 \
+		-experiments t6,f1,f2 -seeds 20 -warm \
+		| $(GO) run ./cmd/benchjson > BENCH_load.json
 
 memoird:
 	$(GO) run ./cmd/memoird

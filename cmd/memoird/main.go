@@ -15,13 +15,23 @@
 //	memoird                         # serve on :8372 until SIGINT/SIGTERM
 //	memoird -addr 127.0.0.1:9000    # alternate listen address
 //	memoird -workers 4 -cache 512   # pool and cache bounds
-//	memoird -timeout 30s            # per-request generation budget
+//	memoird -timeout 30s            # per-report generation budget
+//	memoird -slo 500ms              # latency SLO (breaches counted at /metrics)
+//	memoird -store /var/lib/memoird # persistent report store (warm-started)
+//	memoird -self http://a:8372 -peers http://b:8372,http://c:8372
+//	                                # join a multi-node tier (consistent-hash
+//	                                # ownership, one-hop request forwarding)
 //	memoird -smoke                  # self-test: serve, probe, shut down
 //	memoird -pprof                  # expose /debug/pprof/ (off by default)
 //
 // Identical requests return byte-identical bodies, and served reports match
 // cmd/figures output for the same seed (both use the per-experiment derived
-// seeds of experiments.RunAll).
+// seeds of experiments.RunAll). With -store, that identity survives daemon
+// restarts: every generated report is persisted (gzip, atomic rename) and
+// reloaded into the cache on boot, so a restarted daemon answers old
+// requests without re-simulating. With -peers, each cache key has exactly
+// one owning node tier-wide; non-owners forward (at most one hop) and cache
+// the owner's bytes.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,21 +66,45 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("memoird", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", ":8372", "listen address")
-		workers = fs.Int("workers", runtime.NumCPU(), "max concurrent report generations")
-		cache   = fs.Int("cache", 256, "max cached reports")
-		timeout = fs.Duration("timeout", 60*time.Second, "per-request generation budget")
-		smoke   = fs.Bool("smoke", false, "self-test: serve on a random port, probe, shut down")
-		pprofOn = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+		addr     = fs.String("addr", ":8372", "listen address")
+		workers  = fs.Int("workers", runtime.NumCPU(), "max concurrent report generations")
+		cache    = fs.Int("cache", 256, "max cached reports")
+		timeout  = fs.Duration("timeout", 60*time.Second, "per-report generation budget")
+		slo      = fs.Duration("slo", time.Second, "per-request latency SLO; breaches are counted at /metrics")
+		storeDir = fs.String("store", "", "persistent report store directory (empty = memory only)")
+		selfURL  = fs.String("self", "", "this node's advertised base URL for the tier ring (required with -peers)")
+		peerList = fs.String("peers", "", "comma-separated peer base URLs forming the serving tier")
+		smoke    = fs.Bool("smoke", false, "self-test: serve on a random port, probe, shut down")
+		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var store *serve.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = serve.OpenStore(*storeDir); err != nil {
+			fmt.Fprintf(stderr, "memoird: %v\n", err)
+			return 1
+		}
+	}
+	var ring *serve.Ring
+	if *peerList != "" {
+		if *selfURL == "" {
+			fmt.Fprintln(stderr, "memoird: -peers requires -self (this node's advertised base URL)")
+			return 2
+		}
+		ring = serve.NewRing(*selfURL, strings.Split(*peerList, ","))
 	}
 
 	srv := serve.New(serve.Config{
 		MaxConcurrent: *workers,
 		Timeout:       *timeout,
 		CacheEntries:  *cache,
+		SLO:           *slo,
+		Store:         store,
+		Ring:          ring,
 	})
 
 	if *smoke {
@@ -98,6 +133,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	go func() {
 		fmt.Fprintf(stdout, "memoird: serving on %s (%d workers, %d cache entries, %s budget)\n",
 			ln.Addr(), *workers, *cache, *timeout)
+		if store != nil {
+			fmt.Fprintf(stdout, "memoird: store %s (%d entries warm-started)\n",
+				store.Dir(), srv.Metrics().StoreLoads.Load())
+		}
+		if ring != nil {
+			fmt.Fprintf(stdout, "memoird: tier member %s with peers %s\n",
+				ring.Self(), strings.Join(ring.Members(), ","))
+		}
 		errc <- httpSrv.Serve(ln)
 	}()
 

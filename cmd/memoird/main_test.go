@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
@@ -202,5 +203,92 @@ func TestRunServeLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "shutting down") {
 		t.Errorf("stdout missing shutdown notice:\n%s", out.String())
+	}
+}
+
+func TestRunPeersRequiresSelf(t *testing.T) {
+	var out, errOut syncBuffer
+	if code := run(context.Background(), []string{"-peers", "http://b:8372"}, &out, &errOut); code != 2 {
+		t.Fatalf("-peers without -self exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-self") {
+		t.Errorf("stderr does not name the missing flag:\n%s", errOut.String())
+	}
+}
+
+func TestRunStoreOpenFailure(t *testing.T) {
+	// A store path under a regular file cannot be created.
+	f, err := os.CreateTemp(t.TempDir(), "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errOut syncBuffer
+	if code := run(context.Background(), []string{"-store", f.Name() + "/sub"}, &out, &errOut); code != 1 {
+		t.Fatalf("unopenable store exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "store") {
+		t.Errorf("stderr does not report the store failure:\n%s", errOut.String())
+	}
+}
+
+// TestRunStoreWarmStartAcrossRestart is the CLI-level restart criterion: a
+// daemon with -store serves a report, shuts down, and a second daemon over
+// the same directory announces the warm start and serves the same bytes as
+// a cache hit.
+func TestRunStoreWarmStartAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	fetch := func(base string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/report/t6?quick=true&seed=3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("report = %d: %s", resp.StatusCode, body)
+		}
+		return string(body), resp.Header.Get("X-Memoird-Cache")
+	}
+	stop := func(codec chan int, cancel context.CancelFunc, errOut *syncBuffer) {
+		t.Helper()
+		cancel()
+		select {
+		case code := <-codec:
+			if code != 0 {
+				t.Fatalf("exit = %d; stderr:\n%s", code, errOut.String())
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+
+	var out1, err1 syncBuffer
+	base1, codec1, cancel1 := bootDaemon(t, &out1, &err1, "-store", dir)
+	body1, src1 := fetch(base1)
+	if src1 != "miss" {
+		t.Errorf("cold first fetch source = %q, want miss", src1)
+	}
+	stop(codec1, cancel1, &err1)
+
+	var out2, err2 syncBuffer
+	base2, codec2, cancel2 := bootDaemon(t, &out2, &err2, "-store", dir)
+	body2, src2 := fetch(base2)
+	stop(codec2, cancel2, &err2)
+	if !strings.Contains(out2.String(), "warm-started") {
+		t.Errorf("restarted daemon did not announce the warm start:\n%s", out2.String())
+	}
+	if src2 != "hit" {
+		t.Errorf("post-restart fetch source = %q, want hit (no re-simulation)", src2)
+	}
+	if body1 != body2 {
+		t.Error("post-restart body differs from pre-restart body")
 	}
 }

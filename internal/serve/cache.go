@@ -25,6 +25,7 @@ const numShards = 16
 
 type shard struct {
 	mu    sync.Mutex
+	max   int // per-shard entry bound; shard bounds sum exactly to maxEntries
 	items map[string]*list.Element
 	order *list.List // front = most recently used
 }
@@ -35,22 +36,30 @@ type lruItem struct {
 }
 
 // Cache is a sharded, bounded LRU over report entries. The bound is
-// enforced per shard (maxEntries is split evenly), so total memory is
-// capped at roughly maxEntries reports regardless of traffic pattern.
+// enforced per shard, and the per-shard bounds sum to exactly maxEntries,
+// so Len() can never exceed the configured bound regardless of traffic
+// pattern.
 type Cache struct {
-	shards      [numShards]shard
-	maxPerShard int
+	shards [numShards]shard
 }
 
 // NewCache returns a cache bounded to at most maxEntries reports.
 // Values below numShards are raised so every shard can hold at least one
-// entry.
+// entry. Above that, the bound is split exactly: maxEntries/numShards per
+// shard, with the remainder distributed one entry each to the first
+// maxEntries%numShards shards (a rounded-up uniform split would let e.g.
+// NewCache(17) hold 32 entries).
 func NewCache(maxEntries int) *Cache {
 	if maxEntries < numShards {
 		maxEntries = numShards
 	}
-	c := &Cache{maxPerShard: (maxEntries + numShards - 1) / numShards}
+	c := &Cache{}
+	base, extra := maxEntries/numShards, maxEntries%numShards
 	for i := range c.shards {
+		c.shards[i].max = base
+		if i < extra {
+			c.shards[i].max++
+		}
 		c.shards[i].items = make(map[string]*list.Element)
 		c.shards[i].order = list.New()
 	}
@@ -88,7 +97,7 @@ func (c *Cache) Put(e *Entry) {
 		s.order.MoveToFront(el)
 		return
 	}
-	if s.order.Len() >= c.maxPerShard {
+	if s.order.Len() >= s.max {
 		oldest := s.order.Back()
 		if oldest != nil {
 			s.order.Remove(oldest)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -45,11 +46,22 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Entry, err
 	g.calls[key] = c
 	g.mu.Unlock()
 
+	// The cleanup must run even when fn panics: without it the dead call
+	// stays registered with done never closed, and every later request for
+	// the key coalesces onto the corpse until its own ctx expires — forever,
+	// for every future request. The panic itself still propagates to the
+	// caller; followers see ErrGeneratorPanic instead of a nil entry.
+	completed := false
+	defer func() {
+		if !completed {
+			c.entry, c.err = nil, fmt.Errorf("%w: flight leader panicked", ErrGeneratorPanic)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
 	c.entry, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
+	completed = true
 	return c.entry, false, c.err
 }

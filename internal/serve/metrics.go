@@ -20,9 +20,26 @@ type Metrics struct {
 	// CacheMisses counts report requests that had to generate (or wait on a
 	// coalesced generation).
 	CacheMisses atomic.Int64
+	// StoreHits counts cache misses answered from the persistent store
+	// without re-simulating.
+	StoreHits atomic.Int64
+	// StoreLoads counts entries loaded from the persistent store at boot
+	// (warm start).
+	StoreLoads atomic.Int64
+	// StoreErrors counts persistent-store read/write failures. Store
+	// failures never fail a request — the entry is regenerated or served
+	// from memory — so this counter is the only signal the disk tier is
+	// degraded.
+	StoreErrors atomic.Int64
 	// Coalesced counts requests that attached to another request's
 	// in-flight generation instead of starting their own.
 	Coalesced atomic.Int64
+	// Forwards counts requests forwarded to the owning peer of the tier's
+	// consistent-hash ring.
+	Forwards atomic.Int64
+	// ForwardErrors counts forwards that failed (peer down, bad response);
+	// each falls back to local generation.
+	ForwardErrors atomic.Int64
 	// Generations counts simulations actually run.
 	Generations atomic.Int64
 	// GenerationErrors counts simulations that returned an error.
@@ -46,9 +63,14 @@ type Metrics struct {
 	InFlight atomic.Int64
 	// GenInFlight gauges simulations currently running in the worker pool.
 	GenInFlight atomic.Int64
-	// LatencyMicros accumulates total request latency in microseconds;
-	// LatencyMicros/Requests is the mean request latency.
-	LatencyMicros atomic.Int64
+	// SLOBreaches counts requests slower than the configured SLO threshold
+	// (Config.SLO). SLOBreaches/Requests is the burn ratio; alerting on its
+	// rate of change is the standard burn-rate signal.
+	SLOBreaches atomic.Int64
+	// Latency is the request-latency distribution in microseconds, across
+	// all routes. Latency.Sum()/Requests is the mean; /metrics exports
+	// p50/p95/p99 upper bounds from its log2 buckets.
+	Latency Histogram
 }
 
 // WriteText renders every metric as one "name value" line in a fixed order,
@@ -65,7 +87,12 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		{"memoird_suite_requests_total", &m.SuiteRequests},
 		{"memoird_cache_hits_total", &m.CacheHits},
 		{"memoird_cache_misses_total", &m.CacheMisses},
+		{"memoird_store_hits_total", &m.StoreHits},
+		{"memoird_store_loads_total", &m.StoreLoads},
+		{"memoird_store_errors_total", &m.StoreErrors},
 		{"memoird_coalesced_total", &m.Coalesced},
+		{"memoird_forwards_total", &m.Forwards},
+		{"memoird_forward_errors_total", &m.ForwardErrors},
 		{"memoird_generations_total", &m.Generations},
 		{"memoird_generation_errors_total", &m.GenerationErrors},
 		{"memoird_timeouts_total", &m.Timeouts},
@@ -75,12 +102,18 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		{"memoird_write_errors_total", &m.WriteErrors},
 		{"memoird_inflight", &m.InFlight},
 		{"memoird_generations_inflight", &m.GenInFlight},
-		{"memoird_request_latency_micros_total", &m.LatencyMicros},
+		{"memoird_slo_breaches_total", &m.SLOBreaches},
 	}
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "%s %d\n", r.name, r.v.Load()); err != nil {
 			return err
 		}
 	}
-	return nil
+	if _, err := fmt.Fprintf(w, "memoird_request_latency_micros_total %d\n", m.Latency.Sum()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "memoird_request_latency_count %d\n", m.Latency.Count()); err != nil {
+		return err
+	}
+	return m.Latency.WriteQuantiles(w, "memoird_request_latency_micros")
 }

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// ringReplicas is the number of virtual nodes per peer. 64 points per node
+// keeps the ownership split within a few percent of uniform for small
+// tiers while the ring stays tiny (a 16-node tier is 1024 points).
+const ringReplicas = 64
+
+// downThreshold is the number of consecutive forward failures after which
+// a peer is considered down and traffic it owns is served locally.
+const downThreshold = 3
+
+// retryEvery is how many skipped requests pass before a down peer gets one
+// probe forward. Counter-based rather than clock-based so the recovery
+// path is deterministic in tests.
+const retryEvery = 16
+
+// peerState tracks one remote peer's forwarding health, updated lock-free
+// from request goroutines.
+type peerState struct {
+	addr string
+	// consecFails counts consecutive forward failures; >= downThreshold
+	// means down.
+	consecFails atomic.Int64
+	// skipped counts requests served locally while the peer was down,
+	// driving the periodic re-probe.
+	skipped atomic.Int64
+	// forwards and failures are lifetime totals for /metrics.
+	forwards atomic.Int64
+	failures atomic.Int64
+}
+
+// Ring maps cache keys onto the serving tier's member addresses with a
+// consistent hash: each member contributes ringReplicas virtual points
+// (FNV-1a of "addr#i"), a key is owned by the first point clockwise from
+// its own hash, and adding or removing one member moves only ~1/n of the
+// keyspace. All members build the same ring from the same member list, so
+// any node can route any request in one hop.
+type Ring struct {
+	self   string
+	points []ringPoint
+	peers  map[string]*peerState // remote members only (not self)
+	order  []string              // remote member addrs, sorted, for /metrics
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// NewRing builds the ring for this node. self is this node's advertised
+// base URL; peers are the other members' base URLs (self may appear in
+// peers and is ignored there). A ring with no remote peers returns nil —
+// single-node tiers skip the ring entirely.
+func NewRing(self string, peers []string) *Ring {
+	r := &Ring{self: self, peers: make(map[string]*peerState)}
+	members := []string{self}
+	for _, p := range peers {
+		if p == "" || p == self {
+			continue
+		}
+		if _, dup := r.peers[p]; dup {
+			continue
+		}
+		r.peers[p] = &peerState{addr: p}
+		r.order = append(r.order, p)
+		members = append(members, p)
+	}
+	if len(r.order) == 0 {
+		return nil
+	}
+	sort.Strings(r.order)
+	for _, addr := range members {
+		for i := 0; i < ringReplicas; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", addr, i)), addr: addr})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //lint:allow errpath hash/fnv's Write is documented to never return an error
+	return h.Sum64()
+}
+
+// Self returns this node's advertised address.
+func (r *Ring) Self() string { return r.self }
+
+// Members returns the remote members' addresses in sorted order.
+func (r *Ring) Members() []string { return r.order }
+
+// Owner returns the address owning key. The result is the same on every
+// member, which is what makes one-hop routing coherent.
+func (r *Ring) Owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}
+
+// shouldForward reports whether a request for a key owned by addr should be
+// forwarded now. A healthy peer always forwards. A down peer serves
+// locally, except every retryEvery-th request, which probes the peer so
+// recovery needs no out-of-band health checker.
+func (r *Ring) shouldForward(addr string) bool {
+	p := r.peers[addr]
+	if p == nil {
+		return false
+	}
+	if p.consecFails.Load() < downThreshold {
+		return true
+	}
+	return p.skipped.Add(1)%retryEvery == 0
+}
+
+// forwardResult records a forward attempt's outcome for peer health.
+func (r *Ring) forwardResult(addr string, ok bool) {
+	p := r.peers[addr]
+	if p == nil {
+		return
+	}
+	p.forwards.Add(1)
+	if ok {
+		p.consecFails.Store(0)
+	} else {
+		p.failures.Add(1)
+		p.consecFails.Add(1)
+	}
+}
+
+// up reports whether addr is currently considered healthy.
+func (r *Ring) up(addr string) bool {
+	p := r.peers[addr]
+	return p != nil && p.consecFails.Load() < downThreshold
+}
+
+// writePeerMetrics renders one health line-set per remote member:
+// memoird_peer_up/forwards/forward_failures, labeled by peer address.
+func (r *Ring) writePeerMetrics(w io.Writer) error {
+	for _, addr := range r.order {
+		p := r.peers[addr]
+		up := 0
+		if r.up(addr) {
+			up = 1
+		}
+		if _, err := fmt.Fprintf(w, "memoird_peer_up{peer=%q} %d\nmemoird_peer_forwards_total{peer=%q} %d\nmemoird_peer_forward_failures_total{peer=%q} %d\n",
+			addr, up, addr, p.forwards.Load(), addr, p.failures.Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func tierAddrs() (a, b, c string) {
+	return "http://10.0.0.1:8372", "http://10.0.0.2:8372", "http://10.0.0.3:8372"
+}
+
+// TestRingOwnershipCoherent builds the same tier's ring from every member's
+// perspective and checks each key maps to one owner tier-wide — the
+// property one-hop routing rests on.
+func TestRingOwnershipCoherent(t *testing.T) {
+	a, b, c := tierAddrs()
+	rings := []*Ring{
+		NewRing(a, []string{b, c}),
+		NewRing(b, []string{a, c}),
+		NewRing(c, []string{a, b, c}), // self in the peer list is ignored
+	}
+	owned := map[string]int{}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("f%d|seed=%d|quick=false", i%7, i)
+		owner := rings[0].Owner(key)
+		owned[owner]++
+		for _, r := range rings[1:] {
+			if got := r.Owner(key); got != owner {
+				t.Fatalf("ring views disagree on %q: %q vs %q (self=%q)", key, got, owner, r.Self())
+			}
+		}
+	}
+	// Consistent hashing with 64 virtual nodes per member should spread
+	// ownership; no member may own everything or nothing.
+	for _, addr := range []string{a, b, c} {
+		if owned[addr] == 0 || owned[addr] == 300 {
+			t.Errorf("degenerate ownership split: %v", owned)
+		}
+	}
+}
+
+func TestRingSingleNodeIsNil(t *testing.T) {
+	if r := NewRing("http://x:1", nil); r != nil {
+		t.Error("peerless ring should be nil (single-node tiers skip the ring)")
+	}
+	if r := NewRing("http://x:1", []string{"http://x:1", ""}); r != nil {
+		t.Error("ring of only self/empty peers should be nil")
+	}
+}
+
+// TestRingPeerHealth drives the passive health machine: downThreshold
+// consecutive failures mark a peer down (served locally), the periodic
+// probe still retries it, and one success resurrects it.
+func TestRingPeerHealth(t *testing.T) {
+	a, b, _ := tierAddrs()
+	r := NewRing(a, []string{b})
+	if !r.up(b) || !r.shouldForward(b) {
+		t.Fatal("fresh peer must be up and forwardable")
+	}
+	for i := 0; i < downThreshold; i++ {
+		r.forwardResult(b, false)
+	}
+	if r.up(b) {
+		t.Errorf("peer up after %d consecutive failures", downThreshold)
+	}
+	// While down, most requests serve locally, but every retryEvery-th is
+	// a probe.
+	probes := 0
+	for i := 0; i < retryEvery*4; i++ {
+		if r.shouldForward(b) {
+			probes++
+		}
+	}
+	if probes != 4 {
+		t.Errorf("probes while down = %d over %d requests, want 4", probes, retryEvery*4)
+	}
+	r.forwardResult(b, true)
+	if !r.up(b) || !r.shouldForward(b) {
+		t.Error("one successful probe must resurrect the peer")
+	}
+	// Unknown addresses (not in the ring's peer set) never forward.
+	if r.shouldForward("http://unknown:1") {
+		t.Error("unknown peer must not forward")
+	}
+	r.forwardResult("http://unknown:1", false) // must not panic
+}

@@ -1,15 +1,18 @@
 // Package serve implements memoird, the long-running evaluation service in
 // front of the experiments suite: it answers report requests from a sharded
-// in-memory cache, coalesces concurrent identical requests into a single
-// simulation, bounds concurrent generation with a worker pool, and exposes
-// its own behaviour at /metrics.
+// in-memory cache backed by an optional persistent store, coalesces
+// concurrent identical requests into a single simulation, bounds concurrent
+// generation with a worker pool, forwards requests it does not own to the
+// owning peer of a consistent-hash ring, and exposes its own behaviour at
+// /metrics (including p50/p95/p99 latency and SLO-breach counters).
 //
 // Determinism contract: a report is generated with the same per-experiment
 // derived seed as experiments.RunAll (Options.ForExperiment), and the
 // rendered bytes are stored and served verbatim. Identical requests
 // therefore return byte-identical bodies whether they hit the cache, miss
-// it, or coalesce onto another request's generation — and those bodies match
-// what cmd/figures prints for the same seed.
+// it, coalesce onto another request's generation, reload from the
+// persistent store after a restart, or arrive via a peer forward — and
+// those bodies match what cmd/figures prints for the same seed.
 package serve
 
 import (
@@ -38,6 +41,12 @@ type RunFunc func(ctx context.Context, id string, opts experiments.Options) (*ex
 // 500) and counted in Metrics.Panics.
 var ErrGeneratorPanic = errors.New("serve: generator panicked")
 
+// forwardHeader marks a request that already crossed one peer hop. A
+// server receiving it serves locally no matter what its own ring says —
+// the single-hop guard that keeps divergent ring views (mid-rollout config
+// skew) from bouncing a request around the tier forever.
+const forwardHeader = "X-Memoird-Forwarded"
+
 // DefaultRun generates reports exactly as a RunAll suite would: with the
 // per-experiment derived seed, so served reports match cmd/figures output
 // for the same base seed.
@@ -52,11 +61,25 @@ type Config struct {
 	// MaxConcurrent bounds simultaneous report generations (the worker
 	// pool). Values below 1 select runtime.NumCPU().
 	MaxConcurrent int
-	// Timeout is the per-request generation budget; expired requests get
-	// 504. Values <= 0 select 60s.
+	// Timeout is the per-report generation budget; expired requests get
+	// 504. Values <= 0 select 60s. A suite request's budget scales with
+	// the number of generation waves its ids need on the worker pool (see
+	// handleSuite).
 	Timeout time.Duration
 	// CacheEntries bounds the report cache; values below 1 select 256.
 	CacheEntries int
+	// Store, when non-nil, persists every generated report and answers
+	// cache misses without re-simulating. On construction the store is
+	// warm-started into the cache, so a restarted daemon serves
+	// byte-identical bodies for everything it ever generated.
+	Store *Store
+	// Ring, when non-nil, spreads cache-key ownership across the tier's
+	// members; requests for keys owned by a healthy peer are forwarded
+	// (one hop at most) instead of generated locally.
+	Ring *Ring
+	// SLO is the per-request latency objective; requests slower than it
+	// count in Metrics.SLOBreaches. Values <= 0 select 1s.
+	SLO time.Duration
 	// Faults, when non-nil, injects failures into the generation path.
 	// Production daemons leave it nil; chaos tests use it to prove the
 	// server degrades gracefully.
@@ -67,15 +90,22 @@ type Config struct {
 type Server struct {
 	run     RunFunc
 	cache   *Cache
+	store   *Store
+	ring    *Ring
+	client  *http.Client
 	flight  flightGroup
 	sem     chan struct{}
+	workers int
 	timeout time.Duration
+	slo     time.Duration
 	metrics Metrics
 	known   map[string]bool
 	faults  *Faults
 }
 
-// New returns a Server ready to serve requests.
+// New returns a Server ready to serve requests. When cfg.Store is set, the
+// store's contents are warm-started into the in-memory cache before the
+// first request.
 func New(cfg Config) *Server {
 	if cfg.Run == nil {
 		cfg.Run = DefaultRun
@@ -89,16 +119,32 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries < 1 {
 		cfg.CacheEntries = 256
 	}
+	if cfg.SLO <= 0 {
+		cfg.SLO = time.Second
+	}
 	s := &Server{
 		run:     cfg.Run,
 		cache:   NewCache(cfg.CacheEntries),
+		store:   cfg.Store,
+		ring:    cfg.Ring,
+		client:  &http.Client{},
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		workers: cfg.MaxConcurrent,
 		timeout: cfg.Timeout,
+		slo:     cfg.SLO,
 		known:   make(map[string]bool),
 		faults:  cfg.Faults,
 	}
 	for _, id := range experiments.AllIDs() {
 		s.known[id] = true
+	}
+	if s.store != nil {
+		loaded, bad, err := s.store.Load(func(e *Entry) { s.cache.Put(e) })
+		s.metrics.StoreLoads.Add(int64(loaded))
+		s.metrics.StoreErrors.Add(int64(bad))
+		if err != nil {
+			s.metrics.StoreErrors.Add(1)
+		}
 	}
 	return s
 }
@@ -116,6 +162,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.instrument(s.handleExperiments))
 	mux.HandleFunc("GET /v1/report/{id}", s.instrument(s.handleReport))
 	mux.HandleFunc("POST /v1/suite", s.instrument(s.handleSuite))
+	mux.HandleFunc("GET /internal/v1/entry/{id}", s.instrument(s.handleEntry))
 	// Fallback: unknown routes get the same JSON error shape as every other
 	// error response, instead of the mux's plain-text 404.
 	mux.HandleFunc("/", s.instrument(func(w http.ResponseWriter, r *http.Request) {
@@ -125,8 +172,8 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// instrument wraps a handler with the request counter, in-flight gauge, and
-// latency accumulator.
+// instrument wraps a handler with the request counter, in-flight gauge,
+// latency histogram, and SLO-breach counter.
 func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -134,7 +181,11 @@ func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 		s.metrics.InFlight.Add(1)
 		defer func() {
 			s.metrics.InFlight.Add(-1)
-			s.metrics.LatencyMicros.Add(time.Since(start).Microseconds())
+			elapsed := time.Since(start)
+			s.metrics.Latency.Observe(elapsed.Microseconds())
+			if elapsed > s.slo {
+				s.metrics.SLOBreaches.Add(1)
+			}
 		}()
 		h(w, r)
 	}
@@ -155,6 +206,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if _, err := fmt.Fprintf(w, "memoird_cache_entries %d\n", s.cache.Len()); err != nil {
 		s.metrics.WriteErrors.Add(1)
+		return
+	}
+	if s.store != nil {
+		if _, err := fmt.Fprintf(w, "memoird_store_entries %d\n", s.store.Len()); err != nil {
+			s.metrics.WriteErrors.Add(1)
+			return
+		}
+	}
+	if s.ring != nil {
+		if err := s.ring.writePeerMetrics(w); err != nil {
+			s.metrics.WriteErrors.Add(1)
+		}
 	}
 }
 
@@ -166,7 +229,9 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 // parseReportOptions reads ?seed= and ?quick= into experiment Options,
-// matching the figures CLI defaults (seed 42, explicit).
+// matching the figures CLI defaults (seed 42, explicit). SeedSet is always
+// true in the result, so ?seed=0 means the literal seed 0 — the same
+// contract the suite route honors for an explicit "seed": 0 body field.
 func parseReportOptions(r *http.Request) (experiments.Options, error) {
 	opts := experiments.Options{Seed: 42, SeedSet: true}
 	q := r.URL.Query()
@@ -202,7 +267,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	e, source, err := s.getOrGenerate(ctx, id, opts)
+	e, source, err := s.getOrGenerate(ctx, id, opts, forwardAllowed(r))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -210,11 +275,47 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	s.writeEntry(w, r, e, source)
 }
 
+// handleEntry is the peer-forwarding endpoint: it answers with the full
+// pre-rendered entry envelope (both encodings plus the cache key) so the
+// forwarding node can serve either format byte-identically. It never
+// forwards — it IS the single allowed hop.
+func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.known[id] {
+		s.metrics.NotFound.Add(1)
+		s.httpError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", id))
+		return
+	}
+	opts, err := parseReportOptions(r)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	e, source, err := s.getOrGenerate(ctx, id, opts, false)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("X-Memoird-Cache", source)
+	s.writeJSON(w, http.StatusOK, entryEnvelope{Key: e.Key, Text: e.Text, JSON: e.JSON})
+}
+
+// forwardAllowed reports whether this request may take its one peer hop:
+// only if it has not already taken one (the single-hop guard header).
+func forwardAllowed(r *http.Request) bool {
+	return r.Header.Get(forwardHeader) == ""
+}
+
 // suiteRequest is the POST /v1/suite body. Ids defaults to the paper
-// artifacts; Seed 0 means the default seed 42, matching the report route.
+// artifacts. Seed is a pointer so an explicit "seed": 0 is distinguishable
+// from an absent field: absent means the default seed 42, present — any
+// value, including 0 — is used literally, exactly like ?seed= on the
+// report route.
 type suiteRequest struct {
 	IDs   []string `json:"ids"`
-	Seed  int64    `json:"seed"`
+	Seed  *int64   `json:"seed"`
 	Quick bool     `json:"quick"`
 }
 
@@ -240,15 +341,23 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	opts := experiments.Options{Seed: 42, SeedSet: true, Quick: req.Quick}
-	if req.Seed != 0 {
-		opts.Seed = req.Seed
+	if req.Seed != nil {
+		opts.Seed = *req.Seed
 	}
 
 	// Fan the suite out like RunAll: every id is its own cache/coalesce/
 	// generate chain, with concurrency bounded by the shared worker pool.
 	// Results land in ids order, so the response body is deterministic.
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	//
+	// The deadline is the per-report budget scaled by the number of
+	// generation waves the fan-out needs on this worker pool: a cold
+	// 20-report suite on 4 workers runs (at least) 5 sequential waves, and
+	// giving that fan-out a single report's budget would 504 it even when
+	// every individual generation fits comfortably.
+	waves := (len(ids) + s.workers - 1) / s.workers
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(waves)*s.timeout)
 	defer cancel()
+	forward := forwardAllowed(r)
 	entries := make([]*Entry, len(ids))
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
@@ -256,7 +365,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e, _, err := s.getOrGenerate(ctx, id, opts)
+			e, _, err := s.getOrGenerate(ctx, id, opts, forward)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", id, err)
 				return
@@ -282,17 +391,42 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	s.write(w, []byte("]}\n"))
 }
 
-// getOrGenerate returns the entry for (id, opts) from the cache, from a
-// coalesced in-flight generation, or by generating it on the worker pool.
-// source describes how the entry was satisfied: "hit", "miss", or
-// "coalesced".
-func (s *Server) getOrGenerate(ctx context.Context, id string, opts experiments.Options) (*Entry, string, error) {
+// getOrGenerate returns the entry for (id, opts) from the cache, the
+// persistent store, the owning peer (when allowForward and a ring is
+// configured), a coalesced in-flight generation, or by generating it on
+// the worker pool. source describes how the entry was satisfied: "hit",
+// "store", "forwarded", "miss", or "coalesced".
+func (s *Server) getOrGenerate(ctx context.Context, id string, opts experiments.Options, allowForward bool) (*Entry, string, error) {
 	key := opts.CacheKey(id)
 	if e, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)
 		return e, "hit", nil
 	}
 	s.metrics.CacheMisses.Add(1)
+	if e, ok := s.storeGet(key); ok {
+		s.cache.Put(e)
+		s.metrics.StoreHits.Add(1)
+		return e, "store", nil
+	}
+	if allowForward && s.ring != nil {
+		if owner := s.ring.Owner(key); owner != s.ring.Self() && s.ring.shouldForward(owner) {
+			e, err := s.forward(ctx, owner, id, opts, key)
+			s.ring.forwardResult(owner, err == nil)
+			if err == nil {
+				s.metrics.Forwards.Add(1)
+				s.cache.Put(e)
+				return e, "forwarded", nil
+			}
+			// A dead or disagreeing peer must not fail the request: fall
+			// back to generating locally. Ownership is a performance
+			// routing hint, not a correctness requirement — bodies are
+			// deterministic wherever they are generated.
+			s.metrics.ForwardErrors.Add(1)
+			if ctx.Err() != nil {
+				return nil, "forwarded", ctx.Err()
+			}
+		}
+	}
 	e, shared, err := s.flight.do(ctx, key, func() (*Entry, error) {
 		// A just-finished leader may have filled the cache between our miss
 		// and this flight; don't re-simulate.
@@ -327,6 +461,7 @@ func (s *Server) getOrGenerate(ctx context.Context, id string, opts experiments.
 			return nil, err
 		}
 		s.cache.Put(e)
+		s.storePut(e)
 		if f := s.faults; f != nil && f.EvictAfterPut != nil && f.EvictAfterPut(key) {
 			if s.cache.Delete(key) {
 				s.metrics.ForcedEvictions.Add(1)
@@ -340,6 +475,62 @@ func (s *Server) getOrGenerate(ctx context.Context, id string, opts experiments.
 		source = "coalesced"
 	}
 	return e, source, err
+}
+
+// storeGet reads key from the persistent store, counting (but otherwise
+// swallowing) read failures: a corrupt entry regenerates instead of
+// failing the request.
+func (s *Server) storeGet(key string) (*Entry, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	e, ok, err := s.store.Get(key)
+	if err != nil {
+		s.metrics.StoreErrors.Add(1)
+		return nil, false
+	}
+	return e, ok
+}
+
+// storePut persists a freshly generated entry, counting (but otherwise
+// swallowing) write failures: a full disk degrades the daemon to
+// memory-only serving instead of failing requests.
+func (s *Server) storePut(e *Entry) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Put(e); err != nil {
+		s.metrics.StoreErrors.Add(1)
+	}
+}
+
+// forward fetches the entry for (id, opts) from the owning peer's
+// /internal/v1/entry endpoint, tagging the request with the single-hop
+// guard header so the peer serves locally no matter what its ring says.
+func (s *Server) forward(ctx context.Context, owner, id string, opts experiments.Options, key string) (*Entry, error) {
+	url := fmt.Sprintf("%s/internal/v1/entry/%s?seed=%d&quick=%t", owner, id, opts.Seed, opts.Quick)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: forward %s: %w", url, err)
+	}
+	req.Header.Set(forwardHeader, s.ring.Self())
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: forward %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512)) //lint:allow errpath the status error below is the failure being reported; the body is best-effort context
+		return nil, fmt.Errorf("serve: forward %s: %s: %s", url, resp.Status, body)
+	}
+	var env entryEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("serve: forward %s: decode: %w", url, err)
+	}
+	if env.Key != key {
+		return nil, fmt.Errorf("serve: forward %s: peer served key %q, want %q", url, env.Key, key)
+	}
+	return &Entry{Key: env.Key, Text: env.Text, JSON: env.JSON}, nil
 }
 
 // generate calls the RunFunc with panic containment: a panicking generator
@@ -381,7 +572,8 @@ func (s *Server) release() {
 }
 
 // writeEntry serves a cached entry in the requested format, tagging the
-// response with how it was satisfied (hit, miss, coalesced).
+// response with how it was satisfied (hit, store, forwarded, miss,
+// coalesced).
 func (s *Server) writeEntry(w http.ResponseWriter, r *http.Request, e *Entry, source string) {
 	w.Header().Set("X-Memoird-Cache", source)
 	if r.URL.Query().Get("format") == "json" {

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Entry{Key: "f1|seed=7|quick=false", Text: []byte("rendered text\n"), JSON: []byte(`{"ID":"f1"}`)}
+	if err := st.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(e.Key)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v/%t, want present", err, ok)
+	}
+	if got.Key != e.Key || string(got.Text) != string(e.Text) || string(got.JSON) != string(e.JSON) {
+		t.Errorf("round trip mutated entry: %+v", got)
+	}
+	if _, ok, err := st.Get("f1|seed=8|quick=false"); ok || err != nil {
+		t.Errorf("absent key = %t/%v, want absent with nil error", ok, err)
+	}
+	if st.Len() != 1 {
+		t.Errorf("store len = %d, want 1", st.Len())
+	}
+
+	// Overwriting the same key is idempotent (entries are immutable; the
+	// rewrite just refreshes the file) and still atomic.
+	if err := st.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Errorf("store len after rewrite = %d, want 1", st.Len())
+	}
+}
+
+func TestStoreLoadSkipsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("t1|seed=%d|quick=true", i)
+		if err := st.Put(&Entry{Key: key, Text: []byte("t"), JSON: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A torn write that somehow survived (not gzip), and a stray temp file.
+	if err := os.WriteFile(filepath.Join(dir, "deadbeefdeadbeef"+storeExt), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "0123456789abcdef"+storeExt+".tmp1"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var keys []string
+	loaded, bad, err := st.Load(func(e *Entry) { keys = append(keys, e.Key) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 5 || bad != 1 {
+		t.Errorf("loaded/bad = %d/%d, want 5/1", loaded, bad)
+	}
+	if len(keys) != 5 {
+		t.Errorf("callback saw %d entries, want 5", len(keys))
+	}
+}
+
+// TestStoreGetRejectsForeignKey: a file whose envelope names a different
+// key (an FNV filename collision) must read as absent, never as the wrong
+// bytes.
+func TestStoreGetRejectsForeignKey(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := "f1|seed=1|quick=false"
+	if err := st.Put(&Entry{Key: victim, Text: []byte("v"), JSON: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	// Force a collision by renaming the victim's file onto another key's
+	// slot.
+	other := "f2|seed=2|quick=true"
+	if err := os.Rename(st.path(victim), st.path(other)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(other); ok || err != nil {
+		t.Errorf("colliding slot = %t/%v, want absent with nil error", ok, err)
+	}
+}
+
+// TestServerStoreDegradesGracefully points the server at a store directory
+// that disappears mid-flight: requests still succeed (memory-only) and the
+// failures land in StoreErrors.
+func TestServerStoreDegradesGracefully(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeRun{}
+	s, h := newTestServer(t, Config{Run: f.run, Store: st})
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(t, h, "/v1/report/f1?seed=5"); rec.Code != 200 {
+		t.Fatalf("request with dead store dir = %d, want 200", rec.Code)
+	}
+	if s.Metrics().StoreErrors.Load() == 0 {
+		t.Error("store write failure was not counted")
+	}
+}
