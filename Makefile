@@ -9,7 +9,7 @@ GO ?= go
 
 # Packages whose statement coverage must stay at or above COVER_FLOOR.
 COVER_FLOOR ?= 70
-COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve ./cmd/benchjson
+COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve ./cmd/benchjson ./internal/attack/fingerprint ./internal/defense/stp
 
 # Second coverage tier: the daemon/load-generator mains are signal/listen
 # plumbing that only an end-to-end run exercises, so they carry a lower
@@ -22,7 +22,7 @@ COVER_PKGS_CMD ?= ./cmd/memoird ./cmd/memoirload
 # longer local hunt, e.g. `make fuzz FUZZTIME=10m`.
 FUZZTIME ?= 30s
 
-.PHONY: check vet lint build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-diff bench-load figures smoke smoke-load memoird
+.PHONY: check vet lint build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-armsrace bench-diff bench-load figures smoke smoke-load memoird
 
 check: vet lint build race cover fuzz smoke smoke-load bench-diff
 
@@ -99,6 +99,12 @@ bench-serve:
 bench-experiments:
 	$(GO) test -bench . -benchmem -run '^$$' . \
 		| $(GO) run ./cmd/benchjson > BENCH_experiments.json
+
+# bench-armsrace snapshots the adaptive-adversary matrix benchmark (with
+# its retraining-advantage headline metrics) as BENCH_armsrace.json.
+bench-armsrace:
+	$(GO) test -bench 'BenchmarkArmsRace' -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson > BENCH_armsrace.json
 
 # bench-diff re-runs the experiment benchmarks and compares against the
 # checked-in BENCH_experiments.json trajectory. It must use the same

@@ -132,6 +132,13 @@ func BenchmarkTableStravaHeatmap(b *testing.B) {
 	benchExperiment(b, "t12", "revealed_km_k_0")
 }
 
+// BenchmarkArmsRace regenerates the ar1 adaptive-adversary matrix: four
+// defense generations × four attacker generations, dominated by the
+// sixteen identification passes over the defended victim captures.
+func BenchmarkArmsRace(b *testing.B) {
+	benchExperiment(b, "ar1", "adv_gateway", "adv_stp", "acc_d2_a2", "occ_mcc_d3")
+}
+
 // BenchmarkRunAll regenerates the presentation suite at quick scale through
 // the concurrent runner, comparing the sequential baseline (workers=1)
 // against a worker per CPU. Reports are identical in both configurations;

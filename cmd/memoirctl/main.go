@@ -9,6 +9,7 @@
 //	memoirctl defend     -seed 42 -days 7        # defense matrix vs NIOM
 //	memoirctl localize   -seed 42 -days 365      # SunSpot/Weatherman fleet
 //	memoirctl fingerprint -seed 42 -days 7       # LAN fingerprinting + shaping
+//	memoirctl armsrace   -seed 42 [-quick]       # adaptive-adversary generation matrix
 //	memoirctl figures    [-quick] [-id f2] [-workers 4]  # regenerate paper artifacts
 package main
 
@@ -57,6 +58,8 @@ func run(args []string) int {
 		err = cmdLocalize(*seed, *days)
 	case "fingerprint":
 		err = cmdFingerprint(*seed, *days)
+	case "armsrace":
+		err = cmdArmsRace(*seed, *quick)
 	case "figures":
 		err = cmdFigures(*seed, *quick, *ids, *workers)
 	default:
@@ -71,7 +74,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: memoirctl <simulate|attack|defend|localize|fingerprint|figures> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: memoirctl <simulate|attack|defend|localize|fingerprint|armsrace|figures> [flags]")
 }
 
 func cmdSimulate(seed int64, days int) error {
@@ -192,6 +195,26 @@ func cmdFingerprint(seed int64, days int) error {
 	_ = shaped
 	fmt.Printf("after gateway shaping: overhead=%.2fx delay=%s worst-queue=%s\n",
 		report.PaddingOverhead, report.MeanDelay, report.MaxQueueDelay.Round(time.Second))
+	return nil
+}
+
+func cmdArmsRace(seed int64, quick bool) error {
+	opts := experiments.Options{Seed: seed, SeedSet: true, Quick: quick}
+	rep, err := experiments.Run("ar1", opts.ForExperiment("ar1"))
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	advs := make([]float64, 0, 3)
+	for _, name := range []string{"adv_gateway", "adv_bucket", "adv_stp"} {
+		v, err := rep.Metric(name)
+		if err != nil {
+			return err
+		}
+		advs = append(advs, v)
+	}
+	fmt.Printf("\nretraining advantage: gateway %+.3f, bucketed %+.3f, stp %+.3f\n",
+		advs[0], advs[1], advs[2])
 	return nil
 }
 

@@ -3,6 +3,7 @@ package fingerprint
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"privmem/internal/nettrace"
@@ -20,7 +21,21 @@ type BayesClassifier struct {
 	// means[c][d], stds[c][d], and logPrior[c] are the fitted parameters.
 	means, stds [][]float64
 	logPrior    []float64
+	// dropped lists classes present in the lab capture but below the
+	// training-window floor, in nettrace.Classes order. They are surfaced
+	// through Identification.DroppedClasses so accuracy accounting can
+	// exclude their devices instead of silently scoring them as
+	// misclassifications.
+	dropped []nettrace.Class
 }
+
+// minBayesWindows is the per-class training floor: a Gaussian fitted on
+// fewer windows has a degenerate variance estimate.
+const minBayesWindows = 4
+
+// Dropped returns the classes the lab capture contained but TrainBayes
+// could not fit (fewer than minBayesWindows feature windows).
+func (c *BayesClassifier) Dropped() []nettrace.Class { return c.dropped }
 
 // TrainBayes fits the naive-Bayes classifier from a labeled lab capture at
 // the given feature window.
@@ -32,14 +47,23 @@ func TrainBayes(lab *nettrace.Capture, window time.Duration) (*BayesClassifier, 
 	if len(feats) == 0 {
 		return nil, fmt.Errorf("fingerprint bayes train: %w: empty capture", ErrBadInput)
 	}
+	// Sorted device walk: per-class mean/std are float reductions over the
+	// accumulated vectors, so a map-order walk would make the fitted
+	// parameters differ at the ULP level between runs of a lab with several
+	// devices per class (the same defect the sorted walk in Train fixes).
+	devices := make([]string, 0, len(feats))
+	for name := range feats {
+		devices = append(devices, name)
+	}
+	sort.Strings(devices)
 	byClass := map[nettrace.Class][][]float64{}
 	var total int
-	for dev, fs := range feats {
+	for _, dev := range devices {
 		class, err := lab.DeviceClass(dev)
 		if err != nil {
 			return nil, fmt.Errorf("fingerprint bayes train: %w", err)
 		}
-		for _, f := range fs {
+		for _, f := range feats[dev] {
 			byClass[class] = append(byClass[class], f.Vector())
 			total++
 		}
@@ -47,7 +71,10 @@ func TrainBayes(lab *nettrace.Capture, window time.Duration) (*BayesClassifier, 
 	c := &BayesClassifier{window: window}
 	for _, class := range nettrace.Classes() {
 		vecs := byClass[class]
-		if len(vecs) < 4 {
+		if len(vecs) > 0 && len(vecs) < minBayesWindows {
+			c.dropped = append(c.dropped, class)
+		}
+		if len(vecs) < minBayesWindows {
 			continue
 		}
 		means := make([]float64, nettrace.FeatureDim)
@@ -112,42 +139,13 @@ func (c *BayesClassifier) ClassifyDevice(feats []nettrace.Features) (nettrace.Cl
 }
 
 // IdentifyBayes classifies every device in a victim capture with the
-// naive-Bayes classifier and scores the result.
+// naive-Bayes classifier and scores the result. Victim devices whose true
+// class was dropped at training are flagged (DroppedClasses/DroppedDevices)
+// and excluded from Accuracy rather than scored as misclassifications.
 func IdentifyBayes(c *BayesClassifier, victim *nettrace.Capture) (*Identification, error) {
 	feats, err := nettrace.ExtractFeatures(victim, c.window)
 	if err != nil {
 		return nil, fmt.Errorf("identify bayes: %w", err)
 	}
-	out := &Identification{
-		Predicted: map[string]nettrace.Class{},
-		PerClass:  map[nettrace.Class]float64{},
-	}
-	correctByClass := map[nettrace.Class]int{}
-	totalByClass := map[nettrace.Class]int{}
-	var correct, total int
-	for _, dev := range victim.Devices {
-		fs, ok := feats[dev.Name]
-		if !ok {
-			continue
-		}
-		pred, err := c.ClassifyDevice(fs)
-		if err != nil {
-			return nil, fmt.Errorf("identify bayes %q: %w", dev.Name, err)
-		}
-		out.Predicted[dev.Name] = pred
-		total++
-		totalByClass[dev.Class]++
-		if pred == dev.Class {
-			correct++
-			correctByClass[dev.Class]++
-		}
-	}
-	if total == 0 {
-		return nil, fmt.Errorf("identify bayes: %w: no classifiable devices", ErrBadInput)
-	}
-	out.Accuracy = float64(correct) / float64(total)
-	for class, n := range totalByClass {
-		out.PerClass[class] = float64(correctByClass[class]) / float64(n)
-	}
-	return out, nil
+	return identifyFeatures(victim, feats, c.ClassifyDevice, c.dropped, "identify bayes")
 }

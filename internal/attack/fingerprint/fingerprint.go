@@ -166,24 +166,40 @@ func (c *Classifier) ClassifyDevice(feats []nettrace.Features) (nettrace.Class, 
 
 // Identification is the result of classifying every device in a capture.
 type Identification struct {
-	// Predicted maps device name to inferred class.
+	// Predicted maps device name to inferred class. Devices of dropped
+	// classes are still predicted (the attacker's view) but excluded from
+	// Accuracy.
 	Predicted map[string]nettrace.Class
-	// Accuracy is the fraction of devices classified correctly.
+	// Accuracy is the fraction of scorable devices classified correctly.
 	Accuracy float64
 	// PerClass maps each true class to its recall.
 	PerClass map[nettrace.Class]float64
+	// DroppedClasses lists classes the classifier saw in the lab but could
+	// not fit (too few training windows), in nettrace.Classes order. Victim
+	// devices of these classes are structurally unclassifiable — scoring
+	// them as plain misclassifications would blame the attacker for a
+	// training-data gap — so they are flagged here and excluded from
+	// Accuracy and PerClass.
+	DroppedClasses []nettrace.Class
+	// DroppedDevices counts victim devices excluded from accuracy because
+	// their true class was dropped at training.
+	DroppedDevices int
 }
 
-// Identify classifies every device in a victim capture and scores the
-// result against ground truth.
-func Identify(c *Classifier, victim *nettrace.Capture) (*Identification, error) {
-	feats, err := nettrace.ExtractFeatures(victim, c.window)
-	if err != nil {
-		return nil, fmt.Errorf("identify: %w", err)
+// identifyFeatures scores one per-device classify function over
+// pre-extracted victim features. dropped lists classes the classifier could
+// not learn: their devices are predicted but flagged and excluded from the
+// accuracy accounting.
+func identifyFeatures(victim *nettrace.Capture, feats map[string][]nettrace.Features,
+	classify func([]nettrace.Features) (nettrace.Class, error), dropped []nettrace.Class, label string) (*Identification, error) {
+	droppedSet := map[nettrace.Class]bool{}
+	for _, class := range dropped {
+		droppedSet[class] = true
 	}
 	out := &Identification{
-		Predicted: map[string]nettrace.Class{},
-		PerClass:  map[nettrace.Class]float64{},
+		Predicted:      map[string]nettrace.Class{},
+		PerClass:       map[nettrace.Class]float64{},
+		DroppedClasses: dropped,
 	}
 	correctByClass := map[nettrace.Class]int{}
 	totalByClass := map[nettrace.Class]int{}
@@ -193,11 +209,15 @@ func Identify(c *Classifier, victim *nettrace.Capture) (*Identification, error) 
 		if !ok {
 			continue
 		}
-		pred, err := c.ClassifyDevice(fs)
+		pred, err := classify(fs)
 		if err != nil {
-			return nil, fmt.Errorf("identify %q: %w", dev.Name, err)
+			return nil, fmt.Errorf("%s %q: %w", label, dev.Name, err)
 		}
 		out.Predicted[dev.Name] = pred
+		if droppedSet[dev.Class] {
+			out.DroppedDevices++
+			continue
+		}
 		total++
 		totalByClass[dev.Class]++
 		if pred == dev.Class {
@@ -206,13 +226,23 @@ func Identify(c *Classifier, victim *nettrace.Capture) (*Identification, error) 
 		}
 	}
 	if total == 0 {
-		return nil, fmt.Errorf("identify: %w: no classifiable devices", ErrBadInput)
+		return nil, fmt.Errorf("%s: %w: no classifiable devices", label, ErrBadInput)
 	}
 	out.Accuracy = float64(correct) / float64(total)
 	for class, n := range totalByClass {
 		out.PerClass[class] = float64(correctByClass[class]) / float64(n)
 	}
 	return out, nil
+}
+
+// Identify classifies every device in a victim capture and scores the
+// result against ground truth.
+func Identify(c *Classifier, victim *nettrace.Capture) (*Identification, error) {
+	feats, err := nettrace.ExtractFeatures(victim, c.window)
+	if err != nil {
+		return nil, fmt.Errorf("identify: %w", err)
+	}
+	return identifyFeatures(victim, feats, c.ClassifyDevice, nil, "identify")
 }
 
 // OccupancyConfig parameterizes traffic-based occupancy inference.
@@ -259,7 +289,7 @@ func InferOccupancy(cap *nettrace.Capture, cfg OccupancyConfig) (*timeseries.Ser
 		if r.BytesUp+r.BytesDown < cfg.EventBytes {
 			continue
 		}
-		w := int(r.Time.Sub(cap.Start) / cfg.Window)
+		w := nettrace.WindowIndex(cap.Start, r.Time, cfg.Window)
 		if w >= 0 && w < n {
 			counts[w]++
 		}

@@ -188,6 +188,87 @@ func TestBayesAndCentroidAgreeOnDistinctiveClasses(t *testing.T) {
 	}
 }
 
+// synthWindows appends count windows of periodic flows for one device,
+// starting at start, one window per hour with flowsPer flows of up bytes
+// each.
+func synthWindows(cap *nettrace.Capture, dev string, start time.Time, count, flowsPer, up int) {
+	for w := 0; w < count; w++ {
+		base := start.Add(time.Duration(w) * time.Hour)
+		for i := 0; i < flowsPer; i++ {
+			cap.Records = append(cap.Records, nettrace.FlowRecord{
+				Time:      base.Add(time.Duration(i) * 5 * time.Minute),
+				Device:    dev,
+				Endpoint:  dev + ".cloud",
+				BytesUp:   up,
+				BytesDown: up / 10,
+			})
+		}
+	}
+}
+
+// TestBayesDroppedClassesSurfaced is the regression test for the silent
+// class drop: a lab class below the training-window floor must be reported
+// in Identification.DroppedClasses, and victim devices of that class must
+// be flagged and excluded from Accuracy — not scored as plain
+// misclassifications of an attacker that never had a chance.
+func TestBayesDroppedClassesSurfaced(t *testing.T) {
+	start := time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+	lab := &nettrace.Capture{
+		Start: start,
+		End:   start.Add(24 * time.Hour),
+		Devices: []nettrace.Device{
+			{Name: "camera-01", Class: nettrace.ClassCamera},
+			{Name: "thermostat-01", Class: nettrace.ClassThermostat},
+			{Name: "vacuum-01", Class: nettrace.ClassVacuum},
+		},
+	}
+	synthWindows(lab, "camera-01", start, 12, 6, 2_000_000)
+	synthWindows(lab, "thermostat-01", start, 12, 6, 300)
+	synthWindows(lab, "vacuum-01", start, 2, 1, 50_000) // below the 4-window floor
+	clf, err := TrainBayes(lab, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clf.Dropped(); len(got) != 1 || got[0] != nettrace.ClassVacuum {
+		t.Fatalf("Dropped() = %v, want [vacuum]", got)
+	}
+
+	victim := &nettrace.Capture{
+		Start: start,
+		End:   start.Add(24 * time.Hour),
+		Devices: []nettrace.Device{
+			{Name: "cam-A", Class: nettrace.ClassCamera},
+			{Name: "thermo-B", Class: nettrace.ClassThermostat},
+			{Name: "vac-C", Class: nettrace.ClassVacuum},
+		},
+	}
+	synthWindows(victim, "cam-A", start, 12, 6, 2_000_000)
+	synthWindows(victim, "thermo-B", start, 12, 6, 300)
+	synthWindows(victim, "vac-C", start, 12, 1, 50_000)
+	id, err := IdentifyBayes(clf, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(id.DroppedClasses) != 1 || id.DroppedClasses[0] != nettrace.ClassVacuum {
+		t.Errorf("DroppedClasses = %v, want [vacuum]", id.DroppedClasses)
+	}
+	if id.DroppedDevices != 1 {
+		t.Errorf("DroppedDevices = %d, want 1", id.DroppedDevices)
+	}
+	if _, ok := id.Predicted["vac-C"]; !ok {
+		t.Error("dropped-class device should still carry a prediction (the attacker's view)")
+	}
+	// Pre-fix failure: vac-C was scored as a misclassification, dragging
+	// Accuracy to 2/3 even though both learnable classes were identified
+	// perfectly.
+	if id.Accuracy != 1.0 {
+		t.Errorf("Accuracy = %.3f, want 1.0 over the two scorable devices", id.Accuracy)
+	}
+	if _, ok := id.PerClass[nettrace.ClassVacuum]; ok {
+		t.Error("PerClass must not report recall for a dropped class")
+	}
+}
+
 // Regression for the sorted-device walk in Train: the z-scoring sums and
 // per-class centroid accumulators are floating-point reductions, so
 // visiting the per-device feature map in Go's randomized map order made

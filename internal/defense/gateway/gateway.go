@@ -147,7 +147,7 @@ func (m *Monitor) Scan(cap *nettrace.Capture) ([]Alert, error) {
 	unknownByDevWin := map[string]map[int]int{}
 	totalByDevWin := map[string]map[int]int{}
 	for _, r := range cap.Records {
-		w := int(r.Time.Sub(cap.Start) / m.cfg.Window)
+		w := nettrace.WindowIndex(cap.Start, r.Time, m.cfg.Window)
 		p, known := m.profiles[r.Device]
 		if totalByDevWin[r.Device] == nil {
 			totalByDevWin[r.Device] = map[int]int{}
@@ -173,7 +173,7 @@ func (m *Monitor) Scan(cap *nettrace.Capture) ([]Alert, error) {
 		}
 		streak := 0
 		for _, f := range fs {
-			w := int(f.WindowStart.Sub(cap.Start) / m.cfg.Window)
+			w := nettrace.WindowIndex(cap.Start, f.WindowStart, m.cfg.Window)
 			score, reasons := m.score(p, f, unknownByDevWin[dev][w], totalByDevWin[dev][w])
 			if score >= m.cfg.ScoreThreshold {
 				streak++

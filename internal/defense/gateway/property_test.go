@@ -55,6 +55,36 @@ func TestPropShapedTrafficIsConstant(t *testing.T) {
 	}
 }
 
+// TestPropShapeCellPadding pins the linear-bucket-padding contract: with
+// CellBytes set, every emitted volume is a multiple of the cell (envelopes
+// are quantized, so nearby device classes collapse into shared buckets),
+// and growing the cell only ever adds padding.
+func TestPropShapeCellPadding(t *testing.T) {
+	cap := simCapture(t, 21)
+	cells := []float64{10_000, 50_000, 200_000, 1_000_000}
+	overhead := make([]float64, len(cells))
+	for i, cell := range cells {
+		shaped, rep, err := Shape(cap, ShapeConfig{CellBytes: int(cell)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		overhead[i] = rep.PaddingOverhead
+		for _, r := range shaped.Records {
+			if r.BytesUp%int(cell) != 0 || r.BytesDown%int(cell) != 0 {
+				t.Fatalf("cell=%v: record %s up=%d down=%d not cell-aligned",
+					cell, r.Device, r.BytesUp, r.BytesDown)
+			}
+		}
+	}
+	if err := invariant.Monotone("padding overhead vs cell size", cells, overhead,
+		invariant.NonDecreasing, 1e-9); err != nil {
+		t.Errorf("%v\n  overhead=%v", err, overhead)
+	}
+	if _, _, err := Shape(cap, ShapeConfig{CellBytes: -1}); err == nil {
+		t.Error("negative CellBytes accepted")
+	}
+}
+
 // TestPropShapeMonotoneInQuantile checks the knob law: raising the envelope
 // quantile buys more padding (overhead non-decreasing) and less queueing
 // (max queue delay non-increasing).

@@ -25,6 +25,15 @@ type ShapeConfig struct {
 	// the per-device envelopes) instead of per-device envelopes: maximal
 	// privacy — every device looks identical — at maximal padding cost.
 	Uniform bool
+	// CellBytes, when positive, additionally pads every emitted flow up to
+	// the next multiple of CellBytes — the linear bucket padding of the
+	// website-fingerprinting countermeasure taxonomy. Per-device envelopes
+	// leak device class through their exact byte values (which is how a
+	// retrained attacker sees through per-device shaping); bucket padding
+	// quantizes the envelopes so devices with nearby volumes collapse into
+	// the same bucket and become mutually indistinguishable. Larger cells
+	// merge more classes and cost more padding.
+	CellBytes int
 }
 
 // DefaultShapeConfig returns the shaping configuration used in the
@@ -51,6 +60,8 @@ func (c *ShapeConfig) validate() error {
 		return fmt.Errorf("%w: interval %v", ErrBadConfig, c.Interval)
 	case c.EnvelopeQuantile <= 0 || c.EnvelopeQuantile > 1:
 		return fmt.Errorf("%w: envelope quantile %v", ErrBadConfig, c.EnvelopeQuantile)
+	case c.CellBytes < 0:
+		return fmt.Errorf("%w: cell bytes %d", ErrBadConfig, c.CellBytes)
 	}
 	return nil
 }
@@ -98,7 +109,7 @@ func Shape(cap *nettrace.Capture, cfg ShapeConfig) (*nettrace.Capture, *ShapeRep
 	}
 	var realBytes float64
 	for _, r := range cap.Records {
-		w := int(r.Time.Sub(cap.Start) / cfg.Interval)
+		w := nettrace.WindowIndex(cap.Start, r.Time, cfg.Interval)
 		if w < 0 || w >= n {
 			continue
 		}
@@ -155,6 +166,11 @@ func Shape(cap *nettrace.Capture, cfg ShapeConfig) (*nettrace.Capture, *ShapeRep
 		// minimal cover flow so its presence pattern stays constant too.
 		eu = math.Max(eu, 64)
 		ed = math.Max(ed, 64)
+		if cfg.CellBytes > 0 {
+			cell := float64(cfg.CellBytes)
+			eu = math.Ceil(eu/cell) * cell
+			ed = math.Ceil(ed/cell) * cell
+		}
 		var queueUp, queueDown float64
 		for w, v := range byDev[dev] {
 			queueUp += v.up

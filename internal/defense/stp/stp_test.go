@@ -1,0 +1,238 @@
+package stp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"privmem/internal/attack/fingerprint"
+	"privmem/internal/attack/niom"
+	"privmem/internal/home"
+	"privmem/internal/invariant"
+	"privmem/internal/nettrace"
+)
+
+func simCapture(t *testing.T, seed int64) *nettrace.Capture {
+	t.Helper()
+	cfg := nettrace.DefaultConfig(seed)
+	cfg.Days = 1
+	cap, err := nettrace.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cap
+}
+
+func TestPadDeterministic(t *testing.T) {
+	cap := simCapture(t, 21)
+	cfg := DefaultConfig(7)
+	p1, r1, err := Pad(cap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, r2, err := Pad(cap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("padded captures differ across identical runs")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("reports differ across identical runs")
+	}
+	// A different seed must change the injection (otherwise the seed is
+	// dead and every deployment pads identically).
+	cfg2 := cfg
+	cfg2.Seed = 8
+	p3, _, err := Pad(cap, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p1, p3) {
+		t.Error("seed change did not change the padding")
+	}
+}
+
+// TestPadPreservesRealAndCoversOnlyIdle pins the two structural contracts:
+// every real record survives padding untouched (multiset containment), and
+// every injected flow lands in an epoch where its device had no real
+// event-scale activity — cover never doubles up on a real event, it only
+// manufactures decoys.
+func TestPadPreservesRealAndCoversOnlyIdle(t *testing.T) {
+	cap := simCapture(t, 22)
+	cfg := DefaultConfig(7)
+	padded, rep, err := Pad(cap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InjectedFlows == 0 {
+		t.Fatal("no cover injected; test vacuous")
+	}
+	if got := len(padded.Records) - len(cap.Records); got != rep.InjectedFlows {
+		t.Errorf("record growth %d != reported injected flows %d", got, rep.InjectedFlows)
+	}
+
+	real := map[nettrace.FlowRecord]int{}
+	for _, r := range cap.Records {
+		real[r]++
+	}
+	active := map[string]map[int]bool{}
+	for _, r := range cap.Records {
+		if r.BytesUp+r.BytesDown < cfg.EventBytes {
+			continue
+		}
+		e := nettrace.WindowIndex(cap.Start, r.Time, cfg.Epoch)
+		if active[r.Device] == nil {
+			active[r.Device] = map[int]bool{}
+		}
+		active[r.Device][e] = true
+	}
+	injected := 0
+	for _, r := range padded.Records {
+		if real[r] > 0 {
+			real[r]--
+			continue
+		}
+		injected++
+		e := nettrace.WindowIndex(cap.Start, r.Time, cfg.Epoch)
+		if active[r.Device][e] {
+			t.Errorf("cover flow for %s at %v landed in an active epoch", r.Device, r.Time)
+		}
+	}
+	if injected != rep.InjectedFlows {
+		t.Errorf("found %d non-real records, report says %d injected", injected, rep.InjectedFlows)
+	}
+	for r, n := range real {
+		if n > 0 {
+			t.Errorf("real record dropped by padding: %+v (×%d)", r, n)
+		}
+	}
+}
+
+// TestPropPadOverheadMonotoneInCover checks the knob law: raising the cover
+// probability buys more padding (overhead and cover epochs non-decreasing).
+func TestPropPadOverheadMonotoneInCover(t *testing.T) {
+	probs := []float64{0.05, 0.1, 0.3, 0.5, 0.8, 1.0}
+	for _, seed := range []int64{21, 22, 23} {
+		cap := simCapture(t, seed)
+		overhead := make([]float64, len(probs))
+		cover := make([]float64, len(probs))
+		for i, p := range probs {
+			cfg := DefaultConfig(7)
+			cfg.CoverProbability = p
+			_, rep, err := Pad(cap, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			overhead[i] = rep.PaddingOverhead
+			cover[i] = float64(rep.CoverEpochs)
+		}
+		if err := invariant.Monotone("padding overhead vs cover probability", probs, overhead,
+			invariant.NonDecreasing, 1e-9); err != nil {
+			t.Errorf("seed %d: %v\n  overhead=%v", seed, err, overhead)
+		}
+		if err := invariant.Monotone("cover epochs vs cover probability", probs, cover,
+			invariant.NonDecreasing, 0); err != nil {
+			t.Errorf("seed %d: %v\n  cover=%v", seed, err, cover)
+		}
+	}
+}
+
+// TestPadDegradesOccupancy pins STP's purpose: injected decoy activity
+// floods the event channel the occupancy attack listens on, so daytime
+// occupancy MCC collapses while the defense never touches a real flow.
+func TestPadDegradesOccupancy(t *testing.T) {
+	hcfg := home.DefaultConfig(21)
+	hcfg.Days = 3
+	tr, err := home.Simulate(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := nettrace.DefaultConfig(2)
+	vcfg.Days = 3
+	vcfg.Activity = tr.Active
+	victim, err := nettrace.Simulate(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcc := func(cap *nettrace.Capture) float64 {
+		occ, err := fingerprint.InferOccupancy(cap, fingerprint.DefaultOccupancyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := niom.EvaluateDaytime(tr.Occupancy, occ, 8, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.MCC
+	}
+	plain := mcc(victim)
+	if plain < 0.7 {
+		t.Fatalf("undefended occupancy MCC %.3f too low; world broken", plain)
+	}
+	padded, rep, err := Pad(victim, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defended := mcc(padded)
+	if defended > 0.5 {
+		t.Errorf("padded occupancy MCC %.3f, want collapse below 0.5 (plain %.3f)", defended, plain)
+	}
+	// STP's selling point over constant-rate shaping is cost: cover-replay
+	// overhead stays within a small multiple of real traffic, nowhere near
+	// the gateway's envelope padding.
+	if rep.PaddingOverhead <= 0 || rep.PaddingOverhead > 3 {
+		t.Errorf("padding overhead %.3f outside expected (0, 3] band", rep.PaddingOverhead)
+	}
+}
+
+// TestPadNoSignatureNoCover: a device with no recorded event-scale activity
+// has nothing indistinguishable to replay, so it receives no cover.
+func TestPadNoSignatureNoCover(t *testing.T) {
+	epoch := time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+	cap := &nettrace.Capture{
+		Start:   epoch,
+		End:     epoch.Add(6 * time.Hour),
+		Devices: []nettrace.Device{{Name: "plug-01", Class: nettrace.ClassSmartPlug}},
+	}
+	for i := 0; i < 24; i++ {
+		cap.Records = append(cap.Records, nettrace.FlowRecord{
+			Time: epoch.Add(time.Duration(i) * 15 * time.Minute), Device: "plug-01",
+			Endpoint: "hb.example.com", BytesUp: 200, BytesDown: 100,
+		})
+	}
+	padded, rep, err := Pad(cap, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InjectedFlows != 0 || rep.CoverEpochs != 0 {
+		t.Errorf("cover injected for signature-less device: %+v", rep)
+	}
+	if len(padded.Records) != len(cap.Records) {
+		t.Errorf("record count changed: %d -> %d", len(cap.Records), len(padded.Records))
+	}
+	if rep.PaddingOverhead != 0 {
+		t.Errorf("overhead %v, want 0", rep.PaddingOverhead)
+	}
+}
+
+func TestPadValidation(t *testing.T) {
+	cap := simCapture(t, 21)
+	cases := []Config{
+		{Seed: 1, Epoch: -time.Minute},
+		{Seed: 1, EventBytes: -5},
+		{Seed: 1, CoverProbability: 1.5},
+		{Seed: 1, CoverProbability: -0.1},
+	}
+	for _, cfg := range cases {
+		if _, _, err := Pad(cap, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %+v: error = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+	epoch := time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+	short := &nettrace.Capture{Start: epoch, End: epoch.Add(time.Minute)}
+	if _, _, err := Pad(short, DefaultConfig(1)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("short capture error = %v, want ErrBadConfig", err)
+	}
+}

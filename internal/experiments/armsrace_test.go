@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestArmsRaceMatrixHeadline pins the arms-race acceptance claims at quick
+// scale:
+//
+//  1. Per-device gateway shaping collapses the static attacker, but the
+//     gen-1 attacker retrained through it strictly recovers — the
+//     per-device envelopes are a new, still class-distinctive signature.
+//  2. STP yields ~zero retraining advantage (it never cedes the identity
+//     channel, so there is nothing for the attacker to win back), hence a
+//     strictly smaller advantage than the gateway's.
+//  3. The defenses earn their keep on their own channels: every defended
+//     occupancy MCC sits far below the undefended one.
+func TestArmsRaceMatrixHeadline(t *testing.T) {
+	rep, err := ArmsRaceMatrix(Options{Seed: 42, SeedSet: true, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := func(name string) float64 {
+		t.Helper()
+		v, err := rep.Metric(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	if static := m("acc_d1_a0"); static > 0.4 {
+		t.Errorf("static attacker on per-device shaping = %.3f, expected collapse below 0.4", static)
+	}
+	advGateway := m("adv_gateway")
+	if advGateway <= 0 {
+		t.Errorf("gen-1 retraining advantage through per-device shaping = %.3f, want strictly positive", advGateway)
+	}
+	if diag := m("acc_d1_a1"); diag < 0.8 {
+		t.Errorf("retrained attacker on per-device shaping = %.3f, expected near-full recovery (>= 0.8)", diag)
+	}
+	advSTP := m("adv_stp")
+	if advSTP >= advGateway {
+		t.Errorf("STP advantage %.3f not below gateway advantage %.3f", advSTP, advGateway)
+	}
+	// Bucket padding sits between: retrainable in principle, but the
+	// quantized envelopes cap how much the diagonal recovers.
+	if diag := m("acc_d2_a2"); diag > 0.5 {
+		t.Errorf("retrained attacker on bucketed shaping = %.3f, want <= 0.5", diag)
+	}
+
+	undef := m("occ_mcc_d0")
+	if undef < 0.7 {
+		t.Fatalf("undefended occupancy MCC %.3f too low; world broken", undef)
+	}
+	for _, k := range []string{"occ_mcc_d1", "occ_mcc_d2", "occ_mcc_d3"} {
+		if v := m(k); v > undef-0.3 {
+			t.Errorf("%s = %.3f, want at least 0.3 below undefended %.3f", k, v, undef)
+		}
+	}
+
+	if len(rep.Rows) != armsRaceDefenseCount {
+		t.Errorf("report has %d rows, want %d", len(rep.Rows), armsRaceDefenseCount)
+	}
+}
+
+// TestArmsRaceInRegistry pins the wiring: ar1 is reachable by id and listed
+// after the ablations in AllIDs, but stays out of the default IDs() set so
+// headline figure runs are unchanged.
+func TestArmsRaceInRegistry(t *testing.T) {
+	if _, ok := Registry()["ar1"]; !ok {
+		t.Fatal("ar1 missing from registry")
+	}
+	all := AllIDs()
+	if all[len(all)-1] != "ar1" {
+		t.Errorf("AllIDs tail = %q, want ar1", all[len(all)-1])
+	}
+	for _, id := range IDs() {
+		if id == "ar1" {
+			t.Error("ar1 leaked into the default IDs() set")
+		}
+	}
+}

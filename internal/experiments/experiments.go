@@ -194,6 +194,9 @@ func Registry() map[string]Runner {
 	for id, r := range ablationRegistry() {
 		reg[id] = r
 	}
+	for id, r := range armsRaceRegistry() {
+		reg[id] = r
+	}
 	return reg
 }
 
@@ -203,9 +206,10 @@ func IDs() []string {
 }
 
 // AllIDs returns every registry id — the paper artifacts followed by the
-// ablations — in presentation order.
+// ablations and the arms-race studies — in presentation order.
 func AllIDs() []string {
-	return append(IDs(), AblationIDs()...)
+	ids := append(IDs(), AblationIDs()...)
+	return append(ids, ArmsRaceIDs()...)
 }
 
 // Run executes one experiment by id, containing generator panics as

@@ -18,8 +18,13 @@ func TestRegistryCoversAllIDs(t *testing.T) {
 			t.Errorf("ablation %q missing from registry", id)
 		}
 	}
-	if len(reg) != len(IDs())+len(AblationIDs()) {
-		t.Errorf("registry has %d entries, want %d", len(reg), len(IDs())+len(AblationIDs()))
+	for _, id := range ArmsRaceIDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("arms-race id %q missing from registry", id)
+		}
+	}
+	if len(reg) != len(AllIDs()) {
+		t.Errorf("registry has %d entries, want %d", len(reg), len(AllIDs()))
 	}
 }
 

@@ -41,6 +41,39 @@ func TestPropRunAllMemoTransparent(t *testing.T) {
 	}
 }
 
+// TestPropArmsRaceLaws checks the ar1 structural laws — gateway-family
+// defense-cost monotonicity and the attacker-advantage bound (a gen-N
+// attacker is never worse than gen-0 on gen-N defended traffic).
+func TestPropArmsRaceLaws(t *testing.T) {
+	if testing.Short() {
+		t.Skip("arms race sweep is not short")
+	}
+	for _, seed := range []int64{0, 42} {
+		opts := experiments.Options{Seed: seed, SeedSet: true, Quick: true}
+		if err := suite.ArmsRaceLaws(opts); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPropArmsRaceDeterministic checks that the arms-race matrix renders
+// bit-identically across worker counts and with the world memo on or off:
+// the defended captures, the retrained adversaries, and the STP coin flips
+// are all pure functions of (seed, quick).
+func TestPropArmsRaceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("arms race sweep is not short")
+	}
+	ids := []string{"ar1", "t8"}
+	opts := experiments.Options{Seed: 42, SeedSet: true, Quick: true}
+	if err := suite.RunAllDeterministic(ids, opts, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.RunAllMemoTransparent(ids, opts, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestPropRunAllDeterministicErrors checks the law's error half: a suite
 // containing an unknown id must fail identically — same error text, same
 // partial results — under every worker count.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"privmem/internal/experiments"
+	"privmem/internal/invariant"
 )
 
 // RunAllDeterministic checks the suite-determinism law: RunAll renders
@@ -57,6 +58,64 @@ func RunAllDeterministic(ids []string, opts experiments.Options, workerCounts []
 				return fmt.Errorf("invariant: RunAll(%s, seed=%d) not bit-identical between %d and %d workers",
 					ids[i], opts.Seed, workerCounts[0], workers)
 			}
+		}
+	}
+	return nil
+}
+
+// ArmsRaceLaws runs the ar1 generation×generation matrix and checks its two
+// structural laws.
+//
+// Defense-cost monotonicity: the gateway defense family is nested — bucket
+// padding (D2) only ever adds bytes on top of per-device shaping (D1), which
+// only ever adds bytes on top of no defense (D0) — so padding overhead must
+// be non-decreasing along D0→D1→D2. (D3/STP sits outside the nesting and
+// carries no ordering claim.)
+//
+// Attacker-advantage bound: on traffic behind defense generation k, the
+// attacker retrained through that defense must do at least as well as the
+// static gen-0 attacker (acc_dk_ak ≥ acc_dk_a0 − tol): retraining on the
+// deployed defense's output can only add information about it. A violation
+// means the adaptive attacker is broken, and every "defense resists
+// retraining" claim built on it is vacuous.
+func ArmsRaceLaws(opts experiments.Options) error {
+	rep, err := experiments.Run("ar1", opts.ForExperiment("ar1"))
+	if err != nil {
+		return fmt.Errorf("invariant: arms race: %w", err)
+	}
+	metric := func(name string) (float64, error) {
+		v, err := rep.Metric(name)
+		if err != nil {
+			return 0, fmt.Errorf("invariant: arms race: %w", err)
+		}
+		return v, nil
+	}
+
+	gens := []float64{0, 1, 2}
+	overhead := make([]float64, len(gens))
+	for i := range gens {
+		if overhead[i], err = metric(fmt.Sprintf("overhead_d%d", i)); err != nil {
+			return err
+		}
+	}
+	if err := invariant.Monotone("arms race: padding overhead vs gateway defense generation",
+		gens, overhead, invariant.NonDecreasing, 1e-9); err != nil {
+		return fmt.Errorf("invariant: %w (overhead=%v)", err, overhead)
+	}
+
+	const tol = 1e-9
+	for k := 1; k <= 3; k++ {
+		static, err := metric(fmt.Sprintf("acc_d%d_a0", k))
+		if err != nil {
+			return err
+		}
+		adapted, err := metric(fmt.Sprintf("acc_d%d_a%d", k, k))
+		if err != nil {
+			return err
+		}
+		if adapted < static-tol {
+			return fmt.Errorf("invariant: arms race: gen-%d attacker (%.4f) worse than gen-0 (%.4f) on D%d traffic",
+				k, adapted, static, k)
 		}
 	}
 	return nil

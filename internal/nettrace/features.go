@@ -22,7 +22,10 @@ type Features struct {
 	BytesUp, BytesDown float64
 	// DistinctEndpoints counts unique remote hosts.
 	DistinctEndpoints int
-	// MeanGapS is the mean inter-flow gap in seconds.
+	// MeanGapS is the mean inter-flow gap in seconds. A single-flow window
+	// observes no gap at all; its true gap is right-censored at the window
+	// length, so MeanGapS reports the window length rather than 0 — a zero
+	// would alias a sparse device with a burst of simultaneous flows.
 	MeanGapS float64
 	// GapCV is the coefficient of variation of inter-flow gaps: near zero
 	// for metronomic heartbeats, large for bursty event traffic.
@@ -48,6 +51,21 @@ func (f Features) Vector() []float64 {
 // FeatureDim is the length of Features.Vector.
 const FeatureDim = 7
 
+// WindowIndex returns the index of the window of the given width covering t
+// in a tiling anchored at start, flooring for instants before start: the
+// second before start is window -1, never window 0. Plain integer division
+// truncates toward zero, which would fold the whole (start-width, start)
+// interval onto the first genuine window — the same defect the
+// Series.IndexOf flooring fix removed from the energy path.
+func WindowIndex(start, t time.Time, width time.Duration) int {
+	d := t.Sub(start)
+	w := d / width
+	if d < 0 && d%width != 0 {
+		w--
+	}
+	return int(w)
+}
+
 // ExtractFeatures buckets a capture into fixed windows per device and
 // summarizes each non-empty window.
 func ExtractFeatures(cap *Capture, window time.Duration) (map[string][]Features, error) {
@@ -62,7 +80,7 @@ func ExtractFeatures(cap *Capture, window time.Duration) (map[string][]Features,
 	}
 	buckets := map[string]map[int]*bucket{}
 	for _, r := range cap.Records {
-		w := int(r.Time.Sub(cap.Start) / window)
+		w := WindowIndex(cap.Start, r.Time, window)
 		byWin, ok := buckets[r.Device]
 		if !ok {
 			byWin = map[int]*bucket{}
@@ -108,6 +126,12 @@ func ExtractFeatures(cap *Capture, window time.Duration) (map[string][]Features,
 				if f.MeanGapS > 0 {
 					f.GapCV = stats.Std(gaps) / f.MeanGapS
 				}
+			} else {
+				// Single-flow window: the gap to the next flow exceeds the
+				// window, so report the window length as a right-censored
+				// estimate (see the Features.MeanGapS contract). GapCV stays
+				// 0: no variation was observed.
+				f.MeanGapS = window.Seconds()
 			}
 			out[dev] = append(out[dev], f)
 		}

@@ -225,6 +225,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"experiments": experiments.IDs(),
 		"ablations":   experiments.AblationIDs(),
+		"armsrace":    experiments.ArmsRaceIDs(),
 	})
 }
 

@@ -95,12 +95,14 @@ func TestExperimentsIndex(t *testing.T) {
 	var body struct {
 		Experiments []string `json:"experiments"`
 		Ablations   []string `json:"ablations"`
+		ArmsRace    []string `json:"armsrace"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatal(err)
 	}
-	if len(body.Experiments) != len(experiments.IDs()) || len(body.Ablations) != len(experiments.AblationIDs()) {
-		t.Errorf("index sizes = %d/%d", len(body.Experiments), len(body.Ablations))
+	if len(body.Experiments) != len(experiments.IDs()) || len(body.Ablations) != len(experiments.AblationIDs()) ||
+		len(body.ArmsRace) != len(experiments.ArmsRaceIDs()) {
+		t.Errorf("index sizes = %d/%d/%d", len(body.Experiments), len(body.Ablations), len(body.ArmsRace))
 	}
 }
 
