@@ -9,7 +9,7 @@ GO ?= go
 
 # Packages whose statement coverage must stay at or above COVER_FLOOR.
 COVER_FLOOR ?= 70
-COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve ./cmd/benchjson ./internal/attack/fingerprint ./internal/defense/stp
+COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve ./cmd/benchjson ./internal/attack/fingerprint ./internal/defense/stp ./internal/fleet
 
 # Second coverage tier: the daemon/load-generator mains are signal/listen
 # plumbing that only an end-to-end run exercises, so they carry a lower
@@ -22,9 +22,9 @@ COVER_PKGS_CMD ?= ./cmd/memoird ./cmd/memoirload
 # longer local hunt, e.g. `make fuzz FUZZTIME=10m`.
 FUZZTIME ?= 30s
 
-.PHONY: check vet lint build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-armsrace bench-diff bench-load figures smoke smoke-load memoird
+.PHONY: check vet lint build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-armsrace bench-fleet bench-diff bench-load figures smoke smoke-load smoke-fleet memoird
 
-check: vet lint build race cover fuzz smoke smoke-load bench-diff
+check: vet lint build race cover fuzz smoke smoke-load smoke-fleet bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +82,7 @@ cover-cmd:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCapture$$' -fuzztime $(FUZZTIME) ./internal/nettrace
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/timeseries
+	$(GO) test -run '^$$' -fuzz '^FuzzFleetConfig$$' -fuzztime $(FUZZTIME) ./internal/fleet
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
@@ -106,6 +107,12 @@ bench-armsrace:
 	$(GO) test -bench 'BenchmarkArmsRace' -benchmem -run '^$$' . \
 		| $(GO) run ./cmd/benchjson > BENCH_armsrace.json
 
+# bench-fleet snapshots the fleet streaming benchmark (homes/sec, bytes/home,
+# and per-capita leakage-latency headline columns) as BENCH_fleet.json.
+bench-fleet:
+	$(GO) test -bench 'BenchmarkFleet' -benchmem -run '^$$' ./internal/fleet \
+		| $(GO) run ./cmd/benchjson > BENCH_fleet.json
+
 # bench-diff re-runs the experiment benchmarks and compares against the
 # checked-in BENCH_experiments.json trajectory. It must use the same
 # benchtime as the snapshot: a -benchtime 1x run measures the cold
@@ -128,6 +135,12 @@ smoke:
 # keeps the run cache-dominated, so it finishes in seconds.
 smoke-load:
 	$(GO) run ./cmd/memoirload -selfserve -duration 1s -rps 25 -experiments t6 -seeds 2 -warm
+
+# smoke-fleet streams a small population end to end through memoirctl: the
+# gate proves the CLI flags, the spec parser, the generator/worker pipeline,
+# and the summary renderer against a real (if tiny) fleet.
+smoke-fleet:
+	$(GO) run ./cmd/memoirctl fleet -homes 300 -workers 3 -days 2 -quick -mix family:0.5,apartment:0.3,cottage:0.2
 
 # bench-load snapshots the serving tier's latency distribution under a
 # Zipf-shaped open-loop load as BENCH_load.json (p50/p95/p99 columns via

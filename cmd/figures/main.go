@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	figures                 # run everything at full scale
-//	figures -id f2,f6       # run selected experiments
+//	figures                 # run every paper artifact at full scale
+//	figures -all            # also the ablations, arms-race, and fleet studies
+//	figures -id f2,f6       # run selected experiments (fl1 = fleet summary)
 //	figures -quick          # reduced workloads
 //	figures -seed 7         # alternate seed
 //	figures -workers 4      # worker-pool size (default: NumCPU)
@@ -38,6 +39,7 @@ func main() {
 func run() int {
 	var (
 		idsFlag = flag.String("id", "", "comma-separated experiment ids (default: all)")
+		all     = flag.Bool("all", false, "run the full registry: paper artifacts, ablations, arms race, fleet")
 		quick   = flag.Bool("quick", false, "reduced workloads")
 		seed    = flag.Int64("seed", 42, "base random seed")
 		workers = flag.Int("workers", runtime.NumCPU(), "concurrent experiments")
@@ -97,6 +99,9 @@ func run() int {
 	}
 
 	ids := experiments.IDs()
+	if *all {
+		ids = experiments.AllIDs()
+	}
 	if *idsFlag != "" {
 		ids = strings.Split(*idsFlag, ",")
 		for i := range ids {

@@ -10,6 +10,7 @@
 //	memoirctl localize   -seed 42 -days 365      # SunSpot/Weatherman fleet
 //	memoirctl fingerprint -seed 42 -days 7       # LAN fingerprinting + shaping
 //	memoirctl armsrace   -seed 42 [-quick]       # adaptive-adversary generation matrix
+//	memoirctl fleet      -homes 100000 -workers 8 [-days 3] [-mix family:0.6,retired:0.4]
 //	memoirctl figures    [-quick] [-id f2] [-workers 4]  # regenerate paper artifacts
 package main
 
@@ -24,6 +25,7 @@ import (
 
 	"privmem"
 	"privmem/internal/experiments"
+	"privmem/internal/fleet"
 )
 
 func main() {
@@ -41,7 +43,9 @@ func run(args []string) int {
 	days := fs.Int("days", 7, "simulated days")
 	quick := fs.Bool("quick", false, "reduced workloads (figures)")
 	ids := fs.String("id", "", "experiment ids (figures)")
-	workers := fs.Int("workers", runtime.NumCPU(), "concurrent experiments (figures)")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent experiments (figures) or ingest workers (fleet)")
+	homes := fs.Int("homes", 1000, "population size (fleet)")
+	mix := fs.String("mix", "", "archetype mix, name:weight,... (fleet)")
 	if err := fs.Parse(rest); err != nil {
 		return 2
 	}
@@ -60,6 +64,8 @@ func run(args []string) int {
 		err = cmdFingerprint(*seed, *days)
 	case "armsrace":
 		err = cmdArmsRace(*seed, *quick)
+	case "fleet":
+		err = cmdFleet(*seed, *homes, *workers, *days, *mix, *quick)
 	case "figures":
 		err = cmdFigures(*seed, *quick, *ids, *workers)
 	default:
@@ -74,7 +80,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: memoirctl <simulate|attack|defend|localize|fingerprint|armsrace|figures> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: memoirctl <simulate|attack|defend|localize|fingerprint|armsrace|fleet|figures> [flags]")
 }
 
 func cmdSimulate(seed int64, days int) error {
@@ -215,6 +221,57 @@ func cmdArmsRace(seed int64, quick bool) error {
 	}
 	fmt.Printf("\nretraining advantage: gateway %+.3f, bucketed %+.3f, stp %+.3f\n",
 		advs[0], advs[1], advs[2])
+	return nil
+}
+
+// cmdFleet streams a simulated home population through the online attacks
+// and prints the per-capita leakage summary plus throughput and memory
+// figures. The summary itself is deterministic (bit-identical at any worker
+// count); the throughput lines are this run's measurements and live out here
+// in the command layer so the library result stays a pure function of the
+// spec.
+func cmdFleet(seed int64, homes, workers, days int, mix string, quick bool) error {
+	spec := fleet.DefaultSpec()
+	spec.Seed = seed
+	spec.Homes = homes
+	spec.Workers = workers
+	spec.Days = days
+	if quick {
+		spec.Variants = 2
+	}
+	if mix != "" {
+		parsed, err := fleet.ParseSpec("mix=" + mix)
+		if err != nil {
+			return err
+		}
+		spec.Mix = parsed.Mix
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	startAt := time.Now()
+	res, err := fleet.Run(spec)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(startAt)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	homesPerSec := float64(spec.Homes) / elapsed.Seconds()
+	liveBytes := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if liveBytes < 0 {
+		liveBytes = 0
+	}
+	fmt.Printf("  throughput     %.0f homes/sec (%s total)\n", homesPerSec, elapsed.Round(time.Millisecond))
+	fmt.Printf("  memory         %d bytes/home live heap delta\n", liveBytes/int64(spec.Homes))
 	return nil
 }
 

@@ -71,6 +71,7 @@ func deterministicScope(path string) bool {
 func seedflowScope(path string) bool {
 	return path == "privmem/internal/experiments" ||
 		path == "privmem/internal/defense/stp" ||
+		path == "privmem/internal/fleet" ||
 		strings.HasPrefix(path, "privmem/internal/invariant")
 }
 
@@ -81,7 +82,7 @@ func errpathScope(path string) bool {
 func suite() []scoped {
 	return []scoped{
 		{detrand.Analyzer, "deterministic packages (internal/* minus serve, analysis)", deterministicScope},
-		{seedflow.Analyzer, "internal/experiments, internal/defense/stp, internal/invariant", seedflowScope},
+		{seedflow.Analyzer, "internal/experiments, internal/defense/stp, internal/fleet, internal/invariant", seedflowScope},
 		{maporder.Analyzer, "all packages", everywhere},
 		{mutexscope.Analyzer, "all packages", everywhere},
 		{errpath.Analyzer, "internal/serve, cmd/* (non-test files)", errpathScope},

@@ -50,6 +50,7 @@ func TestScopePredicates(t *testing.T) {
 		{deterministicScope, "privmem", true},
 		{seedflowScope, "privmem/internal/experiments", true},
 		{seedflowScope, "privmem/internal/invariant", true},
+		{seedflowScope, "privmem/internal/fleet", true},
 		{seedflowScope, "privmem/internal/home", false},
 		{errpathScope, "privmem/internal/serve", true},
 		{errpathScope, "privmem/cmd/benchjson", true},

@@ -1,0 +1,228 @@
+package fingerprint
+
+import (
+	"fmt"
+	"time"
+
+	"privmem/internal/nettrace"
+	"privmem/internal/timeseries"
+)
+
+// WindowClass is one streaming identification event: the class the
+// classifier assigns to one device window, with the squared z-space distance
+// to the winning centroid (smaller = sharper match).
+type WindowClass struct {
+	// Device is the LAN identity the window belongs to.
+	Device string
+	// WindowStart is the window's first instant.
+	WindowStart time.Time
+	// Class is the inferred device class for this window.
+	Class nettrace.Class
+	// ZDist is the squared distance to the winning centroid in z-scored
+	// feature space.
+	ZDist float64
+}
+
+// StreamIdentifier runs the device-identification attack online: flow
+// records are observed one at a time (in capture time order), each completed
+// feature window is classified immediately, and per-device votes accumulate
+// as traffic flows. Memory is bounded by the open window of each active
+// device plus one vote table — independent of capture duration.
+//
+// The golden law, enforced bit-exactly by tests: observing every record of a
+// victim capture and finalizing reproduces Identify's Identification — the
+// same per-window classes feed the same majority vote (ClassifyDevice's
+// exact tie-break) into the same scoring loop (scoreDevices).
+//
+// A StreamIdentifier is not safe for concurrent use; shard devices across
+// identifiers instead — per-device vote counts are independent, so any
+// sharding reproduces the serial result.
+type StreamIdentifier struct {
+	c     *Classifier
+	start time.Time
+	accs  map[string]*nettrace.FeatureAccumulator
+	votes map[string]map[nettrace.Class]int
+}
+
+// NewStreamIdentifier returns an online identifier classifying at the
+// classifier's training window, for a capture starting at start.
+func NewStreamIdentifier(c *Classifier, start time.Time) *StreamIdentifier {
+	return &StreamIdentifier{
+		c:     c,
+		start: start,
+		accs:  map[string]*nettrace.FeatureAccumulator{},
+		votes: map[string]map[nettrace.Class]int{},
+	}
+}
+
+// Observe feeds one flow record. When the record completes one of its
+// device's feature windows, that window is classified and returned with
+// ok=true; the vote is recorded either way.
+func (s *StreamIdentifier) Observe(r nettrace.FlowRecord) (wc WindowClass, ok bool, err error) {
+	a, found := s.accs[r.Device]
+	if !found {
+		a, err = nettrace.NewFeatureAccumulator(r.Device, s.start, s.c.window)
+		if err != nil {
+			return wc, false, fmt.Errorf("stream identify: %w", err)
+		}
+		s.accs[r.Device] = a
+	}
+	f, done, err := a.Add(r)
+	if err != nil {
+		return wc, false, fmt.Errorf("stream identify: %w", err)
+	}
+	if !done {
+		return wc, false, nil
+	}
+	return s.vote(f), true, nil
+}
+
+// vote classifies one finished window and records the vote.
+func (s *StreamIdentifier) vote(f nettrace.Features) WindowClass {
+	class, dist := s.c.ScoreVector(f.Vector())
+	v, ok := s.votes[f.Device]
+	if !ok {
+		v = map[nettrace.Class]int{}
+		s.votes[f.Device] = v
+	}
+	v[class]++
+	return WindowClass{Device: f.Device, WindowStart: f.WindowStart, Class: class, ZDist: dist}
+}
+
+// Finalize flushes every open window, runs the majority vote per device, and
+// scores the result against the victim capture's ground truth exactly like
+// Identify. The identifier remains usable afterwards only for devices whose
+// traffic keeps arriving in order.
+func (s *StreamIdentifier) Finalize(victim *nettrace.Capture) (*Identification, error) {
+	for _, a := range s.accs {
+		if f, ok := a.Flush(); ok {
+			s.vote(f)
+		}
+	}
+	return scoreDevices(victim, func(name string) (nettrace.Class, bool, error) {
+		votes, ok := s.votes[name]
+		if !ok {
+			return 0, false, nil
+		}
+		// ClassifyDevice's exact majority vote: walk classes in canonical
+		// order, strictly-greater comparison, so ties resolve identically.
+		var best nettrace.Class
+		bestN := -1
+		for _, class := range nettrace.Classes() {
+			if votes[class] > bestN {
+				best, bestN = class, votes[class]
+			}
+		}
+		return best, true, nil
+	}, nil, "stream identify")
+}
+
+// OccupancyStream runs traffic-based occupancy inference online: it consumes
+// flow records in time order and emits one binary label per window — every
+// window of the capture span, including event-free ones — as soon as the
+// stream moves past it. Its state is one window's event count.
+//
+// Golden law: emitting over a capture's records reproduces InferOccupancy's
+// series value-for-value.
+type OccupancyStream struct {
+	cfg   OccupancyConfig
+	start time.Time
+	n     int // total windows in the span
+	cur   int // open window index
+	count int // event flows in the open window
+	done  bool
+}
+
+// NewOccupancyStream returns an online occupancy detector over [start, end).
+// Zero config fields take the experiment defaults, as with InferOccupancy.
+func NewOccupancyStream(start, end time.Time, cfg OccupancyConfig) (*OccupancyStream, error) {
+	d := DefaultOccupancyConfig()
+	if cfg.Window == 0 {
+		cfg.Window = d.Window
+	}
+	if cfg.EventBytes == 0 {
+		cfg.EventBytes = d.EventBytes
+	}
+	if cfg.MinEvents == 0 {
+		cfg.MinEvents = d.MinEvents
+	}
+	if cfg.Window <= 0 || cfg.EventBytes <= 0 || cfg.MinEvents <= 0 {
+		return nil, fmt.Errorf("occupancy stream: %w: non-positive config", ErrBadInput)
+	}
+	n := int(end.Sub(start) / cfg.Window)
+	if n <= 0 {
+		return nil, fmt.Errorf("occupancy stream: %w: empty capture span", ErrBadInput)
+	}
+	return &OccupancyStream{cfg: cfg, start: start, n: n}, nil
+}
+
+// Windows returns the number of labels the stream will emit in total.
+func (o *OccupancyStream) Windows() int { return o.n }
+
+// Observe feeds one flow record, calling emit(index, occupied) once for each
+// window the stream moves past. Records before the span are ignored; a
+// record at or past the end of the span closes every remaining window.
+// Records must not regress to a closed window.
+func (o *OccupancyStream) Observe(r nettrace.FlowRecord, emit func(index int, occupied bool)) error {
+	w := nettrace.WindowIndex(o.start, r.Time, o.cfg.Window)
+	if w < 0 {
+		return nil
+	}
+	if w >= o.n {
+		o.closeThrough(o.n, emit)
+		return nil
+	}
+	if w < o.cur {
+		return fmt.Errorf("occupancy stream: %w: window %d after %d",
+			nettrace.ErrOutOfOrder, w, o.cur)
+	}
+	o.closeThrough(w, emit)
+	if r.BytesUp+r.BytesDown >= o.cfg.EventBytes {
+		o.count++
+	}
+	return nil
+}
+
+// Finalize closes every window not yet emitted. The stream is exhausted
+// afterwards: further Observe calls only report ordering errors.
+func (o *OccupancyStream) Finalize(emit func(index int, occupied bool)) {
+	o.closeThrough(o.n, emit)
+}
+
+// closeThrough emits labels for windows [cur, w) and opens window w.
+func (o *OccupancyStream) closeThrough(w int, emit func(index int, occupied bool)) {
+	if o.done {
+		return
+	}
+	for ; o.cur < w; o.cur++ {
+		emit(o.cur, o.count >= o.cfg.MinEvents)
+		o.count = 0
+	}
+	if o.cur >= o.n {
+		o.done = true
+	}
+}
+
+// InferOccupancyStream is the convenience batch driver of OccupancyStream
+// used by golden tests and the fleet pipeline's serial reference: it replays
+// a capture through the stream and assembles the emitted labels into the
+// same series shape InferOccupancy returns.
+func InferOccupancyStream(cap *nettrace.Capture, cfg OccupancyConfig) (*timeseries.Series, error) {
+	o, err := NewOccupancyStream(cap.Start, cap.End, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := timeseries.MustNew(cap.Start, o.cfg.Window, o.n)
+	emit := func(i int, occupied bool) {
+		if occupied {
+			out.Values[i] = 1
+		}
+	}
+	for _, r := range cap.Records {
+		if err := o.Observe(r, emit); err != nil {
+			return nil, err
+		}
+	}
+	o.Finalize(emit)
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package fingerprint
+
+import (
+	"testing"
+	"time"
+
+	"privmem/internal/nettrace"
+)
+
+// identificationsEqual compares two Identifications field by field.
+func identificationsEqual(a, b *Identification) bool {
+	if a.Accuracy != b.Accuracy || a.DroppedDevices != b.DroppedDevices ||
+		len(a.Predicted) != len(b.Predicted) || len(a.PerClass) != len(b.PerClass) ||
+		len(a.DroppedClasses) != len(b.DroppedClasses) {
+		return false
+	}
+	for dev, c := range a.Predicted {
+		if b.Predicted[dev] != c {
+			return false
+		}
+	}
+	for class, r := range a.PerClass {
+		if b.PerClass[class] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStreamIdentifierMatchesIdentify pins the online identifier to batch
+// Identify bit for bit: same predictions, same accuracy, same per-class
+// recall, over a victim capture with a compromise in it.
+func TestStreamIdentifierMatchesIdentify(t *testing.T) {
+	clf, err := Train(labCapture(t, 21), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := nettrace.DefaultConfig(22)
+	vcfg.Compromises = []nettrace.Compromise{
+		{Device: "camera-01", Kind: nettrace.CompromiseScan,
+			At: vcfg.Start.Add(30 * time.Hour)},
+	}
+	victim, err := nettrace.Simulate(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Identify(clf, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStreamIdentifier(clf, victim.Start)
+	var windows int
+	for _, r := range victim.Records {
+		if wc, ok, err := s.Observe(r); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			windows++
+			if wc.Device != r.Device {
+				t.Fatalf("window attributed to %q, record device %q", wc.Device, r.Device)
+			}
+		}
+	}
+	got, err := s.Finalize(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows == 0 {
+		t.Fatal("stream emitted no classified windows")
+	}
+	if !identificationsEqual(got, want) {
+		t.Fatalf("stream identification differs from batch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStreamIdentifierShardedMatchesSerial checks the sharding claim: devices
+// split across independent identifiers, votes merged by running Finalize on
+// an identifier that saw every record, equals any per-device partition. The
+// per-device independence makes this trivially true; the test guards against
+// hidden cross-device state creeping in.
+func TestStreamIdentifierShardedMatchesSerial(t *testing.T) {
+	clf, err := Train(labCapture(t, 23), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := nettrace.Simulate(nettrace.DefaultConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewStreamIdentifier(clf, victim.Start)
+	shards := []*StreamIdentifier{
+		NewStreamIdentifier(clf, victim.Start),
+		NewStreamIdentifier(clf, victim.Start),
+		NewStreamIdentifier(clf, victim.Start),
+	}
+	for _, r := range victim.Records {
+		if _, _, err := serial.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+		shard := shards[int(hashDev(r.Device))%len(shards)]
+		if _, _, err := shard.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := serial.Finalize(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merge shard votes into a fresh identifier and finalize.
+	merged := NewStreamIdentifier(clf, victim.Start)
+	for _, s := range shards {
+		for _, a := range s.accs {
+			if f, ok := a.Flush(); ok {
+				s.vote(f)
+			}
+		}
+		for dev, votes := range s.votes {
+			m, ok := merged.votes[dev]
+			if !ok {
+				m = map[nettrace.Class]int{}
+				merged.votes[dev] = m
+			}
+			for class, n := range votes {
+				m[class] += n
+			}
+		}
+	}
+	got, err := merged.Finalize(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identificationsEqual(got, want) {
+		t.Fatalf("sharded identification differs from serial:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// hashDev is a tiny deterministic device hash for shard assignment in tests.
+func hashDev(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// TestOccupancyStreamMatchesBatch pins the online occupancy detector to
+// InferOccupancy value for value, including event-free windows.
+func TestOccupancyStreamMatchesBatch(t *testing.T) {
+	victim, err := nettrace.Simulate(nettrace.DefaultConfig(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultOccupancyConfig()
+	want, err := InferOccupancy(victim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := InferOccupancyStream(victim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() || !got.Start.Equal(want.Start) || got.Step != want.Step {
+		t.Fatalf("shape mismatch: got %d@%v, want %d@%v", got.Len(), got.Step, want.Len(), want.Step)
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("window %d: stream %v != batch %v", i, got.Values[i], want.Values[i])
+		}
+	}
+}
+
+// TestOccupancyStreamValidation checks constructor and ordering errors.
+func TestOccupancyStreamValidation(t *testing.T) {
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := NewOccupancyStream(start, start, OccupancyConfig{}); err == nil {
+		t.Fatal("empty span accepted")
+	}
+	bad := OccupancyConfig{Window: -time.Minute}
+	if _, err := NewOccupancyStream(start, start.Add(time.Hour), bad); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	o, err := NewOccupancyStream(start, start.Add(time.Hour), OccupancyConfig{Window: 15 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit := func(int, bool) {}
+	rec := func(at time.Duration) nettrace.FlowRecord {
+		return nettrace.FlowRecord{Time: start.Add(at), Device: "d", BytesUp: 100_000}
+	}
+	// Pre-span records are ignored.
+	if err := o.Observe(rec(-time.Hour), emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe(rec(40*time.Minute), emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Observe(rec(10*time.Minute), emit); err == nil {
+		t.Fatal("regressing record accepted")
+	}
+}

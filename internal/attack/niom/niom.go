@@ -20,9 +20,7 @@ import (
 	"fmt"
 	"time"
 
-	"privmem/internal/hmm"
 	"privmem/internal/metrics"
-	"privmem/internal/stats"
 	"privmem/internal/timeseries"
 )
 
@@ -132,65 +130,10 @@ func DetectThreshold(power *timeseries.Series, cfg Config) (*timeseries.Series, 
 		return nil, fmt.Errorf("niom threshold: %w: trace shorter than one window", ErrBadConfig)
 	}
 
-	meanThresh := baselineMean(ws, cfg.BaselineQuantile) + cfg.MeanMarginW
-	labels := make([]float64, len(ws))
-	for i, w := range ws {
-		if w.Mean > meanThresh || w.MaxAbsDiff >= cfg.EdgeThresholdW {
-			labels[i] = 1
-		}
-	}
-	labels = smoothMajority(labels, cfg.SmoothWindows)
+	// The label pipeline (baseline, per-window rules, majority smoothing) is
+	// shared with the streaming detector: see thresholdLabels in stream.go.
+	labels := thresholdLabels(compactStats(ws, nil), cfg, &Scratch{})
 	return expandLabels(power, cfg.Window, labels), nil
-}
-
-// smoothMajority replaces each label by the majority over a centered width-w
-// neighborhood (w odd). Ties keep the original label.
-func smoothMajority(labels []float64, w int) []float64 {
-	if w <= 1 {
-		return labels
-	}
-	half := w / 2
-	out := make([]float64, len(labels))
-	for i := range labels {
-		lo := max(0, i-half)
-		hi := min(len(labels), i+half+1)
-		var ones int
-		for j := lo; j < hi; j++ {
-			if labels[j] >= 0.5 {
-				ones++
-			}
-		}
-		n := hi - lo
-		switch {
-		case 2*ones > n:
-			out[i] = 1
-		case 2*ones < n:
-			out[i] = 0
-		default:
-			out[i] = labels[i]
-		}
-	}
-	return out
-}
-
-// baselineMean estimates the background-appliance power floor as the mean of
-// the quietest windows.
-func baselineMean(ws []timeseries.WindowStat, quantile float64) float64 {
-	means := make([]float64, len(ws))
-	for i, w := range ws {
-		means[i] = w.Mean
-	}
-	cut := stats.Quantile(means, quantile)
-	var base []float64
-	for _, w := range ws {
-		if w.Mean <= cut {
-			base = append(base, w.Mean)
-		}
-	}
-	if len(base) == 0 {
-		return stats.Mean(means)
-	}
-	return stats.Mean(base)
 }
 
 // DetectHMM runs the HMM detector of [14]: per-window activity evidence is
@@ -209,25 +152,14 @@ func DetectHMM(power *timeseries.Series, cfg Config) (*timeseries.Series, error)
 		return nil, fmt.Errorf("niom hmm: %w: only %d windows", ErrBadConfig, len(ws))
 	}
 	// Per-window activity evidence: the same physical criterion as the
-	// threshold detector, expressed as a noisy 0/1 observation.
-	meanThresh := baselineMean(ws, cfg.BaselineQuantile) + cfg.MeanMarginW
-	evidence := make([]float64, len(ws))
-	for i, w := range ws {
-		if w.Mean > meanThresh || w.MaxAbsDiff >= cfg.EdgeThresholdW {
-			evidence[i] = 1
-		}
-	}
+	// threshold detector, expressed as a noisy 0/1 observation (rawLabels is
+	// the shared pre-smoothing pipeline stage in stream.go).
+	evidence := rawLabels(compactStats(ws, nil), cfg, &Scratch{})
 	// A fixed sticky two-state chain decodes occupancy from the evidence:
 	// occupied periods emit evidence often but not always (reading, resting)
 	// while unoccupied periods emit it rarely (background coincidences).
 	// Viterbi then recovers the maximum-likelihood occupancy run structure.
-	model := &hmm.Model{
-		Initial: []float64{0.5, 0.5},
-		Trans:   [][]float64{{0.92, 0.08}, {0.08, 0.92}},
-		Means:   []float64{0.05, 0.75},
-		Stds:    []float64{0.3, 0.45},
-	}
-	path, _, err := model.Viterbi(evidence)
+	path, _, err := occupancyModel().Viterbi(evidence)
 	if err != nil {
 		return nil, fmt.Errorf("niom hmm: %w", err)
 	}

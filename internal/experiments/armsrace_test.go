@@ -65,15 +65,21 @@ func TestArmsRaceMatrixHeadline(t *testing.T) {
 }
 
 // TestArmsRaceInRegistry pins the wiring: ar1 is reachable by id and listed
-// after the ablations in AllIDs, but stays out of the default IDs() set so
-// headline figure runs are unchanged.
+// after the ablations in AllIDs (before the fleet family), but stays out of
+// the default IDs() set so headline figure runs are unchanged.
 func TestArmsRaceInRegistry(t *testing.T) {
 	if _, ok := Registry()["ar1"]; !ok {
 		t.Fatal("ar1 missing from registry")
 	}
 	all := AllIDs()
-	if all[len(all)-1] != "ar1" {
-		t.Errorf("AllIDs tail = %q, want ar1", all[len(all)-1])
+	pos := -1
+	for i, id := range all {
+		if id == "ar1" {
+			pos = i
+		}
+	}
+	if want := len(all) - 1 - len(FleetIDs()); pos != want {
+		t.Errorf("ar1 at AllIDs index %d, want %d (after ablations, before fleet)", pos, want)
 	}
 	for _, id := range IDs() {
 		if id == "ar1" {

@@ -197,6 +197,9 @@ func Registry() map[string]Runner {
 	for id, r := range armsRaceRegistry() {
 		reg[id] = r
 	}
+	for id, r := range fleetRegistry() {
+		reg[id] = r
+	}
 	return reg
 }
 
@@ -206,10 +209,12 @@ func IDs() []string {
 }
 
 // AllIDs returns every registry id — the paper artifacts followed by the
-// ablations and the arms-race studies — in presentation order.
+// ablations, the arms-race studies, and the fleet-scale studies — in
+// presentation order.
 func AllIDs() []string {
 	ids := append(IDs(), AblationIDs()...)
-	return append(ids, ArmsRaceIDs()...)
+	ids = append(ids, ArmsRaceIDs()...)
+	return append(ids, FleetIDs()...)
 }
 
 // Run executes one experiment by id, containing generator panics as

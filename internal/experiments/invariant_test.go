@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"privmem/internal/experiments"
+	"privmem/internal/fleet"
 	"privmem/internal/invariant/suite"
 )
 
@@ -70,6 +71,64 @@ func TestPropArmsRaceDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := suite.RunAllMemoTransparent(ids, opts, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropOnlineNIOMEquivalent replays a recorded metered home through the
+// streaming NIOM detector in both modes and requires bit-identity with the
+// batch sliding detectors at every window boundary.
+func TestPropOnlineNIOMEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online equivalence sweep is not short")
+	}
+	for _, seed := range []int64{0, 7, 42} {
+		if err := suite.OnlineNIOMEquivalent(seed); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPropOnlineFHMMEquivalent pins windowed and streaming factorial-HMM
+// decoding to exact batch Viterbi, bit for bit, across window sizes.
+func TestPropOnlineFHMMEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online equivalence sweep is not short")
+	}
+	for _, seed := range []int64{0, 13, 42} {
+		if err := suite.OnlineFHMMEquivalent(seed); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPropOnlineFingerprintEquivalent pins the streaming device identifier
+// and occupancy detector to their batch counterparts on a recorded capture.
+func TestPropOnlineFingerprintEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online equivalence sweep is not short")
+	}
+	for _, seed := range []int64{5, 42} {
+		if err := suite.OnlineFingerprintEquivalent(seed); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPropFleetDeterministic checks the fleet tentpole law end to end: the
+// population summary renders bit-identically at every worker count, and the
+// fl1 experiment built on it passes the RunAll determinism law.
+func TestPropFleetDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sweep is not short")
+	}
+	spec := fleet.DefaultSpec()
+	spec.Homes, spec.Days, spec.Seed = 150, 2, 17
+	if err := suite.FleetDeterministic(spec, []int{1, 3, 7}); err != nil {
+		t.Fatal(err)
+	}
+	opts := experiments.Options{Seed: 42, SeedSet: true, Quick: true}
+	if err := suite.RunAllDeterministic([]string{"fl1"}, opts, []int{1, 2}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// quickSpec is a small fleet that still exercises every archetype, multiple
+// variants, and several analysis windows per home.
+func quickSpec() Spec {
+	return Spec{
+		Homes:    120,
+		Workers:  1,
+		Days:     2,
+		Seed:     7,
+		Step:     15 * time.Minute,
+		Window:   time.Hour,
+		History:  6,
+		Variants: 3,
+		Buffer:   2,
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the tentpole law: the fleet summary is
+// a pure function of the spec — bit-identical Result and byte-identical
+// Render at every worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	base := quickSpec()
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refText bytes.Buffer
+	if err := ref.Render(&refText); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 5, 8} {
+		spec := base
+		spec.Workers = workers
+		got, err := Run(spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Workers is reported in the summary; normalize it before comparing.
+		got.Workers = ref.Workers
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d result differs:\n got %+v\nwant %+v", workers, got, ref)
+		}
+		var text bytes.Buffer
+		got.Render(&text)
+		if text.String() != refText.String() {
+			t.Fatalf("workers=%d render differs:\n%s\nvs\n%s", workers, text.String(), refText.String())
+		}
+	}
+}
+
+// TestRunRepeatable: same spec twice, identical summary.
+func TestRunRepeatable(t *testing.T) {
+	a, err := Run(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("re-run differs:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestRunSeedMatters: a different seed must move the leakage distributions.
+func TestRunSeedMatters(t *testing.T) {
+	a, err := Run(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := quickSpec()
+	spec.Seed = 1234
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.NIOMAccuracy, b.NIOMAccuracy) &&
+		reflect.DeepEqual(a.MaxZ, b.MaxZ) {
+		t.Fatal("seed change left every distribution untouched")
+	}
+}
+
+// TestRunSummaryShape sanity-checks the summary: every home lands in an
+// archetype, accuracies are fractions, and the attacks beat coin flipping at
+// the median (the simulated world is deliberately learnable).
+func TestRunSummaryShape(t *testing.T) {
+	spec := quickSpec()
+	spec.Workers = 4
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range res.Mix {
+		total += m.Homes
+	}
+	if total != spec.Homes {
+		t.Fatalf("mix accounts for %d homes, want %d", total, spec.Homes)
+	}
+	if res.WindowsPerHome != spec.Days*24 {
+		t.Fatalf("windows per home %d, want %d", res.WindowsPerHome, spec.Days*24)
+	}
+	for name, q := range map[string]Quantiles{
+		"niom": res.NIOMAccuracy, "net": res.NetAccuracy, "fhmm": res.FHMMAccuracy,
+	} {
+		if q.P50 < 0 || q.P99 > 1.000001 {
+			t.Fatalf("%s quantiles out of range: %+v", name, q)
+		}
+		if q.P50 > q.P95+1e-9 || q.P95 > q.P99+1e-9 {
+			t.Fatalf("%s quantiles not monotone: %+v", name, q)
+		}
+	}
+	if res.NIOMAccuracy.P50 <= 0.5 {
+		t.Fatalf("median NIOM accuracy %.3f not better than chance", res.NIOMAccuracy.P50)
+	}
+	if res.MaxZ.P50 <= 0 {
+		t.Fatalf("median max z-score %.3f, want positive", res.MaxZ.P50)
+	}
+}
+
+// TestRunCustomMix: a single-archetype mix puts every home there.
+func TestRunCustomMix(t *testing.T) {
+	spec := quickSpec()
+	spec.Homes = 40
+	spec.Mix = []Share{{Archetype: "retired", Weight: 1}}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mix) != 1 || res.Mix[0].Name != "retired" || res.Mix[0].Homes != 40 {
+		t.Fatalf("mix = %+v, want all 40 in retired", res.Mix)
+	}
+}
+
+// TestRunRejectsBadSpec: validation failures surface as ErrBadSpec without
+// running anything.
+func TestRunRejectsBadSpec(t *testing.T) {
+	bad := quickSpec()
+	bad.Step = 7 * time.Minute // does not divide an hour
+	if _, err := Run(bad); err == nil {
+		t.Fatal("step not dividing an hour accepted")
+	}
+	bad = quickSpec()
+	bad.Window = 5 * time.Hour // does not divide a day
+	if _, err := Run(bad); err == nil {
+		t.Fatal("window not dividing a day accepted")
+	}
+	bad = quickSpec()
+	bad.Mix = []Share{{Archetype: "mansion", Weight: 1}}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("unknown archetype accepted")
+	}
+}

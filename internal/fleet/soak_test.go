@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSoakBoundedMemory is the bounded-memory contract: heap usage plateaus
+// as the simulated horizon extends. We run the same small population over a
+// short and a long horizon and require the long run's live heap to stay
+// within a modest factor of the short run's — nothing may accumulate per
+// simulated day.
+func TestSoakBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	spec := Spec{
+		Homes:    60,
+		Workers:  2,
+		Days:     2,
+		Seed:     11,
+		Step:     15 * time.Minute,
+		Window:   time.Hour,
+		History:  6,
+		Variants: 2,
+		Buffer:   2,
+	}
+	short := soakHeap(t, spec)
+	spec.Days = 16 // 8x the horizon
+	long := soakHeap(t, spec)
+	t.Logf("heap after 2 days: %d bytes; after 16 days: %d bytes", short, long)
+	// Allow slack for allocator noise, but an 8x horizon must not cost
+	// anywhere near 8x the memory.
+	if long > 2*short+(8<<20) {
+		t.Fatalf("heap grew with horizon: %d bytes at 16 days vs %d at 2 days", long, short)
+	}
+}
+
+// soakHeap runs the spec with a hook that checkpoints the live heap at every
+// generated chunk and returns the high-water mark.
+func soakHeap(t *testing.T, spec Spec) uint64 {
+	t.Helper()
+	var mu sync.Mutex
+	var peak uint64
+	var calls int
+	spec.testHookChunk = func(day, archetype, variant int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		// GC on a sparse sample of chunks so the checkpoint measures live
+		// bytes, not allocation turnover.
+		if calls%8 != 0 {
+			return
+		}
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if peak == 0 {
+		t.Fatal("soak hook never checkpointed the heap")
+	}
+	return peak
+}
+
+// TestBackpressureBoundsProducer proves the backpressure contract white-box:
+// the generator broadcasts each chunk to every worker channel in order, so
+// with no consumer draining, the first channel fills after Buffer chunks and
+// the generator blocks with exactly one more chunk in hand. Producer
+// run-ahead is therefore Buffer+1 chunks no matter how long the horizon is —
+// a stalled ingest tier bounds producer memory instead of ballooning it.
+func TestBackpressureBoundsProducer(t *testing.T) {
+	spec := Spec{
+		Homes:    24,
+		Workers:  2,
+		Days:     6,
+		Seed:     3,
+		Step:     30 * time.Minute,
+		Window:   2 * time.Hour,
+		History:  4,
+		Variants: 2,
+		Buffer:   1,
+		Mix:      []Share{{Archetype: "apartment", Weight: 1}},
+	}
+	var produced atomic.Int32
+	spec.testHookChunk = func(day, archetype, variant int) { produced.Add(1) }
+
+	r, err := newRunner(spec.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chans := make([]chan *chunk, spec.Workers)
+	for i := range chans {
+		chans[i] = make(chan *chunk, spec.Buffer)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.generate(chans) }()
+
+	// Give the generator ample time to run ahead if backpressure failed.
+	time.Sleep(400 * time.Millisecond)
+	limit := int32(spec.Buffer + 1)
+	if got := produced.Load(); got > limit {
+		t.Fatalf("generator finished %d chunks against stalled consumers (limit %d)", got, limit)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("generator returned (%v) while consumers were stalled", err)
+	default:
+	}
+
+	// Release: drain every channel; the run must then complete all chunks.
+	var wg sync.WaitGroup
+	for _, ch := range chans {
+		wg.Add(1)
+		go func(ch chan *chunk) {
+			defer wg.Done()
+			for range ch {
+			}
+		}(ch)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	want := int32(spec.Days * spec.Variants) // single-archetype mix
+	if got := produced.Load(); got != want {
+		t.Fatalf("run finished %d chunks, want %d", got, want)
+	}
+}

@@ -214,8 +214,7 @@ func (f *Factorial) Decode(obs []float64) ([][]int, error) {
 	if len(obs) == 0 {
 		return make([][]int, nc), nil
 	}
-	f.prepOnce.Do(func() { f.prep = f.buildPrep() })
-	p := f.prep
+	p := f.prepTables()
 	nj := p.nj
 
 	sc, _ := f.scratch.Get().(*decodeScratch)

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log2 buckets in a Histogram. Bucket 0 holds
+// the value 0; bucket b (b >= 1) holds values in [2^(b-1), 2^b - 1]. 63
+// value buckets cover every non-negative int64, so recording never clips.
+const histBuckets = 64
+
+// Histogram is a lock-free log2-bucketed histogram of non-negative int64
+// samples. The serving layer records request latencies in microseconds; the
+// fleet layer records per-home leakage in micro-units. Observe is wait-free
+// (one atomic add per bucket touch), so it sits on hot paths; quantile reads
+// walk a racy snapshot of the counters, which is the standard monitoring
+// trade-off — a scrape concurrent with traffic may be off by the handful of
+// samples recorded mid-walk, never by more.
+//
+// The log2 bucketing bounds quantile error multiplicatively: the reported
+// quantile is the inclusive upper bound of the bucket containing the true
+// sample, so for a true value v > 0 the estimate e satisfies v <= e < 2v.
+// The zero value is an empty histogram ready to use.
+//
+// Because every counter update is a commutative integer add, merging the
+// same sample multiset in any order — any worker count, any scheduling —
+// yields bit-identical counters, which is what lets the fleet pipeline keep
+// its per-capita distributions reproducible at any parallelism.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// bucketOf returns the bucket index for sample v. Negative samples (only
+// possible from a clock step mid-request) clamp into bucket 0.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper returns the largest value bucket b holds.
+func bucketUpper(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 63 {
+		return 1<<63 - 1
+	}
+	return 1<<b - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// recorded samples: the upper edge of the bucket containing the sample of
+// rank ceil(q*count). An empty histogram reports 0. The estimate e for a
+// true quantile v satisfies v <= e < 2v (see the type comment).
+func (h *Histogram) Quantile(q float64) int64 {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for b := range counts {
+		cum += counts[b]
+		if cum >= rank {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// WriteQuantiles renders the p50/p95/p99 lines served at /metrics, each as
+// "<prefix>_p<NN> <value>". It returns the first write error, matching the
+// serving layer's Metrics.WriteText.
+func (h *Histogram) WriteQuantiles(w io.Writer, prefix string) error {
+	for _, p := range []struct {
+		label string
+		q     float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		if _, err := fmt.Fprintf(w, "%s_%s %d\n", prefix, p.label, h.Quantile(p.q)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

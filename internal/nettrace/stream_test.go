@@ -1,0 +1,134 @@
+package nettrace
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func featuresEqual(a, b Features) bool {
+	return a.Device == b.Device &&
+		a.WindowStart.Equal(b.WindowStart) &&
+		a.Flows == b.Flows &&
+		a.BytesUp == b.BytesUp &&
+		a.BytesDown == b.BytesDown &&
+		a.DistinctEndpoints == b.DistinctEndpoints &&
+		a.MeanGapS == b.MeanGapS &&
+		a.GapCV == b.GapCV &&
+		a.MaxFlowUp == b.MaxFlowUp
+}
+
+// TestAccumulatorMatchesExtractFeatures pins the streaming extractor to the
+// batch one bit for bit: every record of a simulated capture, demultiplexed
+// per device in slice order, reproduces ExtractFeatures exactly.
+func TestAccumulatorMatchesExtractFeatures(t *testing.T) {
+	cfg := Config{
+		Seed:   7,
+		Start:  time.Date(2025, 3, 10, 0, 0, 0, 0, time.UTC),
+		Days:   2,
+		Counts: DefaultCounts(),
+		Compromises: []Compromise{
+			{Device: "camera-01", Kind: CompromiseExfil,
+				At: time.Date(2025, 3, 11, 4, 0, 0, 0, time.UTC)},
+		},
+	}
+	cap, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 15 * time.Minute
+	want, err := ExtractFeatures(cap, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	accs := map[string]*FeatureAccumulator{}
+	got := map[string][]Features{}
+	for _, r := range cap.Records {
+		a, ok := accs[r.Device]
+		if !ok {
+			a, err = NewFeatureAccumulator(r.Device, cap.Start, window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			accs[r.Device] = a
+		}
+		if f, done, err := a.Add(r); err != nil {
+			t.Fatal(err)
+		} else if done {
+			got[r.Device] = append(got[r.Device], f)
+		}
+	}
+	for dev, a := range accs {
+		if f, ok := a.Flush(); ok {
+			got[dev] = append(got[dev], f)
+		}
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("stream covered %d devices, batch %d", len(got), len(want))
+	}
+	for dev, wfs := range want {
+		gfs := got[dev]
+		if len(gfs) != len(wfs) {
+			t.Fatalf("%s: stream %d windows, batch %d", dev, len(gfs), len(wfs))
+		}
+		for i := range wfs {
+			if !featuresEqual(gfs[i], wfs[i]) {
+				t.Fatalf("%s window %d: stream %+v != batch %+v", dev, i, gfs[i], wfs[i])
+			}
+		}
+	}
+}
+
+// TestAccumulatorRejectsRegression checks the out-of-order contract and that
+// the error leaves the open window intact.
+func TestAccumulatorRejectsRegression(t *testing.T) {
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	a, err := NewFeatureAccumulator("dev", start, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(at time.Duration) FlowRecord {
+		return FlowRecord{Time: start.Add(at), Device: "dev", Endpoint: "e", BytesUp: 10}
+	}
+	if _, _, err := a.Add(rec(3 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Add(rec(1 * time.Minute)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("regression accepted: %v", err)
+	}
+	// Same window is still fine after the rejected record.
+	if _, ok, err := a.Add(rec(3*time.Minute + 30*time.Second)); err != nil || ok {
+		t.Fatalf("same-window add after rejection: ok=%v err=%v", ok, err)
+	}
+	f, ok := a.Flush()
+	if !ok || f.Flows != 2 {
+		t.Fatalf("flush: ok=%v flows=%d, want 2", ok, f.Flows)
+	}
+	// Wrong device is rejected outright.
+	if _, _, err := a.Add(FlowRecord{Time: start, Device: "other"}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("wrong device accepted: %v", err)
+	}
+}
+
+// TestAccumulatorRejectsBadParams checks constructor validation.
+func TestAccumulatorRejectsBadParams(t *testing.T) {
+	if _, err := NewFeatureAccumulator("d", time.Time{}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero window: %v", err)
+	}
+	if _, err := NewFeatureAccumulator("", time.Time{}, time.Minute); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty device: %v", err)
+	}
+}
+
+// TestAccumulatorEmptyFlush checks flushing with nothing open.
+func TestAccumulatorEmptyFlush(t *testing.T) {
+	a, err := NewFeatureAccumulator("d", time.Time{}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Flush(); ok {
+		t.Fatal("flush of empty accumulator emitted a window")
+	}
+}

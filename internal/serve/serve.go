@@ -226,6 +226,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		"experiments": experiments.IDs(),
 		"ablations":   experiments.AblationIDs(),
 		"armsrace":    experiments.ArmsRaceIDs(),
+		"fleet":       experiments.FleetIDs(),
 	})
 }
 

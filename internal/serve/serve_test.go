@@ -96,13 +96,14 @@ func TestExperimentsIndex(t *testing.T) {
 		Experiments []string `json:"experiments"`
 		Ablations   []string `json:"ablations"`
 		ArmsRace    []string `json:"armsrace"`
+		Fleet       []string `json:"fleet"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatal(err)
 	}
 	if len(body.Experiments) != len(experiments.IDs()) || len(body.Ablations) != len(experiments.AblationIDs()) ||
-		len(body.ArmsRace) != len(experiments.ArmsRaceIDs()) {
-		t.Errorf("index sizes = %d/%d/%d", len(body.Experiments), len(body.Ablations), len(body.ArmsRace))
+		len(body.ArmsRace) != len(experiments.ArmsRaceIDs()) || len(body.Fleet) != len(experiments.FleetIDs()) {
+		t.Errorf("index sizes = %d/%d/%d/%d", len(body.Experiments), len(body.Ablations), len(body.ArmsRace), len(body.Fleet))
 	}
 }
 
