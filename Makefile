@@ -9,7 +9,7 @@ GO ?= go
 
 # Packages whose statement coverage must stay at or above COVER_FLOOR.
 COVER_FLOOR ?= 70
-COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve ./cmd/benchjson ./internal/attack/fingerprint ./internal/defense/stp ./internal/fleet
+COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve ./cmd/benchjson ./internal/attack/fingerprint ./internal/defense/stp ./internal/fleet ./internal/hmm
 
 # Second coverage tier: the daemon/load-generator mains are signal/listen
 # plumbing that only an end-to-end run exercises, so they carry a lower
@@ -22,7 +22,7 @@ COVER_PKGS_CMD ?= ./cmd/memoird ./cmd/memoirload
 # longer local hunt, e.g. `make fuzz FUZZTIME=10m`.
 FUZZTIME ?= 30s
 
-.PHONY: check vet lint build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-armsrace bench-fleet bench-diff bench-load figures smoke smoke-load smoke-fleet memoird
+.PHONY: check vet lint build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-armsrace bench-fleet bench-diff bench-all bench-load figures smoke smoke-load smoke-fleet memoird
 
 check: vet lint build race cover fuzz smoke smoke-load smoke-fleet bench-diff
 
@@ -95,10 +95,12 @@ bench-serve:
 
 # bench-experiments snapshots the per-experiment benchmarks (one per
 # reproduced figure/table plus the RunAll suite, with their headline-metric
-# columns) as BENCH_experiments.json — the harness's cross-PR performance
-# trajectory.
+# columns) and the FHMM kernel benchmarks as BENCH_experiments.json — the
+# harness's cross-PR performance trajectory. The hmm package rides along so
+# the bench-diff allocs/op guard covers BenchmarkFactorialDecode (the
+# decode kernel's 7 allocs/op is a defended number).
 bench-experiments:
-	$(GO) test -bench . -benchmem -run '^$$' . \
+	$(GO) test -bench . -benchmem -run '^$$' . ./internal/hmm \
 		| $(GO) run ./cmd/benchjson > BENCH_experiments.json
 
 # bench-armsrace snapshots the adaptive-adversary matrix benchmark (with
@@ -117,11 +119,26 @@ bench-fleet:
 # checked-in BENCH_experiments.json trajectory. It must use the same
 # benchtime as the snapshot: a -benchtime 1x run measures the cold
 # first-touch path (world builds included), which the warm steady-state
-# baseline would always flag. Warn-only (the leading "-"): timings are
-# noisy, so drift is surfaced in the log without failing the gate.
+# baseline would always flag. Warn-only by default (the leading "-"):
+# timings are noisy, so drift is surfaced in the log without failing the
+# gate. Setting BENCH_FAIL_PCT turns the comparison into a hard gate:
+# `make bench-diff BENCH_FAIL_PCT=40` fails on any benchmark more than 40%
+# slower than its snapshot (or past the allocs/op guard). `make check`
+# leaves it unset.
+BENCH_FAIL_PCT ?=
+ifneq ($(BENCH_FAIL_PCT),)
 bench-diff:
-	-$(GO) test -bench . -benchmem -run '^$$' . \
+	$(GO) test -bench . -benchmem -run '^$$' . ./internal/hmm \
+		| $(GO) run ./cmd/benchjson -diff BENCH_experiments.json -fail-pct $(BENCH_FAIL_PCT)
+else
+bench-diff:
+	-$(GO) test -bench . -benchmem -run '^$$' . ./internal/hmm \
 		| $(GO) run ./cmd/benchjson -diff BENCH_experiments.json
+endif
+
+# bench-all regenerates every checked-in benchmark snapshot in one pass —
+# the five BENCH_*.json trajectory files a perf PR should refresh together.
+bench-all: bench-experiments bench-serve bench-armsrace bench-fleet bench-load
 
 figures:
 	$(GO) run ./cmd/figures

@@ -8,7 +8,6 @@ package privmem
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"testing"
 
@@ -140,12 +139,17 @@ func BenchmarkArmsRace(b *testing.B) {
 }
 
 // BenchmarkRunAll regenerates the presentation suite at quick scale through
-// the concurrent runner, comparing the sequential baseline (workers=1)
-// against a worker per CPU. Reports are identical in both configurations;
-// only wall-clock differs. Each sub-benchmark does one untimed warmup pass
-// so both configurations measure the same steady state (warm world memo),
-// and the parallel run reports its speedup over the serial baseline as a
-// custom metric.
+// the concurrent runner, comparing the sequential baseline against a worker
+// per CPU. Reports are identical in both configurations; only wall-clock
+// differs. Each sub-benchmark does one untimed warmup pass so both
+// configurations measure the same steady state (warm world memo), and the
+// parallel run reports its speedup over the serial baseline as a custom
+// metric.
+//
+// The sub-benchmarks carry fixed names ("serial", "parallel") with the
+// worker count as a reported metric: the old workers=%d naming collided on
+// single-CPU hosts (both subs became workers=1, deduped by the testing
+// package to workers=1#01), which broke benchjson run-to-run diffing.
 func BenchmarkRunAll(b *testing.B) {
 	ids := experiments.IDs()
 	opts := experiments.Options{Quick: true, Seed: 42}
@@ -161,14 +165,22 @@ func BenchmarkRunAll(b *testing.B) {
 		}
 	}
 	var serialNsPerOp float64
-	for ci, workers := range []int{1, runtime.NumCPU()} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	configs := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.NumCPU()},
+	}
+	for ci, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
-			runSuite(b, workers)
+			runSuite(b, cfg.workers)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				runSuite(b, workers)
+				runSuite(b, cfg.workers)
 			}
+			b.ReportMetric(float64(cfg.workers), "workers")
 			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 			if ci == 0 {
 				serialNsPerOp = nsPerOp

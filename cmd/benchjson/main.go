@@ -10,14 +10,18 @@
 // `go test` output pipes straight through.
 //
 // With -diff FILE, stdin is instead compared against the baseline JSON in
-// FILE: per-benchmark ns/op ratios are printed, plus warnings for large
-// regressions and for benchmarks that appear on only one side. Diff mode is
-// advisory — it always exits 0 unless the input cannot be parsed — so it can
-// gate nothing while still surfacing trajectory drift in CI logs.
+// FILE: per-benchmark ns/op and allocs/op ratios are printed, plus warnings
+// for large regressions and for benchmarks that appear on only one side.
+// Diff mode is advisory by default — it exits 0 unless the input cannot be
+// parsed — so it can gate nothing while still surfacing trajectory drift in
+// CI logs. With -fail-pct P (> 0), a ns/op regression beyond P percent or an
+// allocs/op regression beyond the allocation guard turns the run into a
+// failure: every comparison line still prints, then the exit code is 1.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,16 +41,27 @@ type Result struct {
 
 // regressionWarnFactor is the ns/op growth beyond which diff mode flags a
 // benchmark. Generous on purpose: quick-scale timings are noisy and the
-// step is warn-only.
+// default mode is warn-only.
 const regressionWarnFactor = 1.25
+
+// allocsWarnFactor is the allocs/op growth beyond which diff mode flags a
+// benchmark. Tighter than the timing factor: allocation counts are nearly
+// deterministic (pool warm-up aside), so a 10% jump is a real change.
+const allocsWarnFactor = 1.10
+
+// errRegression reports that -fail-pct was set and at least one benchmark
+// regressed past the threshold. The comparison lines have already printed.
+var errRegression = errors.New("benchmarks regressed past -fail-pct threshold")
 
 func main() {
 	diffBase := flag.String("diff", "",
 		"baseline JSON file; compare stdin's bench output against it instead of emitting JSON")
+	failPct := flag.Float64("fail-pct", 0,
+		"with -diff: exit nonzero when ns/op regresses more than this percent (0 = warn-only)")
 	flag.Parse()
 	var err error
 	if *diffBase != "" {
-		err = runDiff(*diffBase, os.Stdin, os.Stdout)
+		err = runDiff(*diffBase, *failPct, os.Stdin, os.Stdout)
 	} else {
 		err = run(os.Stdin, os.Stdout)
 	}
@@ -67,9 +82,12 @@ func run(in io.Reader, out io.Writer) error {
 }
 
 // runDiff compares fresh bench output (text, on in) against a baseline JSON
-// snapshot. Output is one line per benchmark; regressions and one-sided
-// benchmarks are prefixed "warn:".
-func runDiff(basePath string, in io.Reader, out io.Writer) error {
+// snapshot. Output is one line per benchmark (ns/op always; allocs/op when
+// both sides report it); regressions and one-sided benchmarks are prefixed
+// "warn:". With failPct > 0, timing regressions beyond failPct percent and
+// allocation regressions beyond allocsWarnFactor return errRegression after
+// all lines have printed.
+func runDiff(basePath string, failPct float64, in io.Reader, out io.Writer) error {
 	raw, err := os.ReadFile(basePath)
 	if err != nil {
 		return err
@@ -82,6 +100,12 @@ func runDiff(basePath string, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	nsFailFactor := regressionWarnFactor
+	if failPct > 0 {
+		nsFailFactor = 1 + failPct/100
+	}
+	failed := false
 
 	baseByName := map[string]Result{}
 	for _, r := range base {
@@ -102,11 +126,26 @@ func runDiff(basePath string, in io.Reader, out io.Writer) error {
 		}
 		ratio := r.NsPerOp / old.NsPerOp
 		prefix := "  ok:"
-		if ratio > regressionWarnFactor {
+		if ratio > nsFailFactor {
+			prefix = "warn:"
+			failed = failPct > 0
+		} else if ratio > regressionWarnFactor {
 			prefix = "warn:"
 		}
-		if _, err := fmt.Fprintf(out, "%s %s: %.4g ns/op vs baseline %.4g (%.2fx)\n",
-			prefix, r.Name, r.NsPerOp, old.NsPerOp, ratio); err != nil {
+		allocNote := ""
+		if old.AllocsPerOp != nil && r.AllocsPerOp != nil && *old.AllocsPerOp > 0 {
+			aRatio := float64(*r.AllocsPerOp) / float64(*old.AllocsPerOp)
+			allocNote = fmt.Sprintf(", %d allocs/op vs %d (%.2fx)",
+				*r.AllocsPerOp, *old.AllocsPerOp, aRatio)
+			if aRatio > allocsWarnFactor {
+				prefix = "warn:"
+				if failPct > 0 {
+					failed = true
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(out, "%s %s: %.4g ns/op vs baseline %.4g (%.2fx)%s\n",
+			prefix, r.Name, r.NsPerOp, old.NsPerOp, ratio, allocNote); err != nil {
 			return err
 		}
 	}
@@ -121,6 +160,9 @@ func runDiff(basePath string, in io.Reader, out io.Writer) error {
 		if _, err := fmt.Fprintf(out, "warn: %s: in baseline but not in this run\n", name); err != nil {
 			return err
 		}
+	}
+	if failed {
+		return errRegression
 	}
 	return nil
 }

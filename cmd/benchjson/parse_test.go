@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -153,7 +154,7 @@ BenchmarkNew-8 100 10 ns/op
 PASS
 `
 	var out bytes.Buffer
-	if err := runDiff(basePath, strings.NewReader(freshText), &out); err != nil {
+	if err := runDiff(basePath, 0, strings.NewReader(freshText), &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -169,15 +170,88 @@ PASS
 	}
 }
 
+// TestRunDiffAllocs exercises the allocs/op column: a benchmark whose timing
+// holds steady but whose allocation count grows past the guard is flagged.
+func TestRunDiffAllocs(t *testing.T) {
+	base := `[
+  {"name": "BenchmarkLean-8", "iterations": 100, "ns_per_op": 1000, "bytes_per_op": 64, "allocs_per_op": 10},
+  {"name": "BenchmarkLeaky-8", "iterations": 100, "ns_per_op": 1000, "bytes_per_op": 64, "allocs_per_op": 100}
+]`
+	basePath := t.TempDir() + "/base.json"
+	if err := writeFile(basePath, base); err != nil {
+		t.Fatal(err)
+	}
+	freshText := `BenchmarkLean-8 100 1000 ns/op 64 B/op 10 allocs/op
+BenchmarkLeaky-8 100 1000 ns/op 64 B/op 150 allocs/op
+PASS
+`
+	var out bytes.Buffer
+	if err := runDiff(basePath, 0, strings.NewReader(freshText), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"  ok: BenchmarkLean-8:",
+		"10 allocs/op vs 10 (1.00x)",
+		"warn: BenchmarkLeaky-8:",
+		"150 allocs/op vs 100 (1.50x)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunDiffFailPct exercises the opt-in gate: with -fail-pct set, timing
+// or allocation regressions past the threshold turn into an error (after all
+// lines print), while clean runs still pass.
+func TestRunDiffFailPct(t *testing.T) {
+	base := `[
+  {"name": "BenchmarkStable-8", "iterations": 100, "ns_per_op": 1000, "allocs_per_op": 10},
+  {"name": "BenchmarkSlow-8", "iterations": 100, "ns_per_op": 1000}
+]`
+	basePath := t.TempDir() + "/base.json"
+	if err := writeFile(basePath, base); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	clean := "BenchmarkStable-8 100 1050 ns/op 10 allocs/op\nBenchmarkSlow-8 100 1100 ns/op\nPASS\n"
+	if err := runDiff(basePath, 25, strings.NewReader(clean), &out); err != nil {
+		t.Fatalf("clean run failed: %v\n%s", err, out.String())
+	}
+
+	out.Reset()
+	slow := "BenchmarkStable-8 100 1000 ns/op 10 allocs/op\nBenchmarkSlow-8 100 1500 ns/op\nPASS\n"
+	if err := runDiff(basePath, 25, strings.NewReader(slow), &out); !errors.Is(err, errRegression) {
+		t.Fatalf("timing regression err = %v, want errRegression", err)
+	}
+	if !strings.Contains(out.String(), "warn: BenchmarkSlow-8:") {
+		t.Errorf("regression line missing:\n%s", out.String())
+	}
+
+	out.Reset()
+	leaky := "BenchmarkStable-8 100 1000 ns/op 20 allocs/op\nBenchmarkSlow-8 100 1000 ns/op\nPASS\n"
+	if err := runDiff(basePath, 25, strings.NewReader(leaky), &out); !errors.Is(err, errRegression) {
+		t.Fatalf("allocs regression err = %v, want errRegression", err)
+	}
+
+	// The same allocation growth without -fail-pct stays warn-only.
+	out.Reset()
+	if err := runDiff(basePath, 0, strings.NewReader(leaky), &out); err != nil {
+		t.Fatalf("warn-only run failed: %v", err)
+	}
+}
+
 func TestRunDiffBadBaseline(t *testing.T) {
-	if err := runDiff("/nonexistent/base.json", strings.NewReader(""), &bytes.Buffer{}); err == nil {
+	if err := runDiff("/nonexistent/base.json", 0, strings.NewReader(""), &bytes.Buffer{}); err == nil {
 		t.Fatal("missing baseline accepted")
 	}
 	basePath := t.TempDir() + "/base.json"
 	if err := writeFile(basePath, "not json"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runDiff(basePath, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+	if err := runDiff(basePath, 0, strings.NewReader(""), &bytes.Buffer{}); err == nil {
 		t.Fatal("malformed baseline accepted")
 	}
 }

@@ -57,30 +57,35 @@ func Train(lab *nettrace.Capture, window time.Duration) (*Classifier, error) {
 	// level, and a map-order walk would make mean/std — and with them every
 	// centroid — differ bit-wise from run to run.
 	devices := make([]string, 0, len(feats))
-	for name := range feats {
+	nWin := 0
+	for name, fs := range feats {
 		devices = append(devices, name)
+		nWin += len(fs)
 	}
 	sort.Strings(devices)
-	var all [][]float64
+	// One flat slab holds every window's vector (row i at i*FeatureDim) —
+	// the walk order and per-dimension accumulation order match the old
+	// slice-of-vectors layout exactly.
+	flat := make([]float64, 0, nWin*nettrace.FeatureDim)
 	for _, name := range devices {
 		for _, f := range feats[name] {
-			all = append(all, f.Vector())
+			flat = f.AppendVector(flat)
 		}
 	}
 	mean := make([]float64, nettrace.FeatureDim)
 	std := make([]float64, nettrace.FeatureDim)
 	for d := 0; d < nettrace.FeatureDim; d++ {
 		var s float64
-		for _, v := range all {
-			s += v[d]
+		for i := 0; i < nWin; i++ {
+			s += flat[i*nettrace.FeatureDim+d]
 		}
-		mean[d] = s / float64(len(all))
+		mean[d] = s / float64(nWin)
 		var ss float64
-		for _, v := range all {
-			diff := v[d] - mean[d]
+		for i := 0; i < nWin; i++ {
+			diff := flat[i*nettrace.FeatureDim+d] - mean[d]
 			ss += diff * diff
 		}
-		std[d] = math.Sqrt(ss / float64(len(all)))
+		std[d] = math.Sqrt(ss / float64(nWin))
 		if std[d] == 0 {
 			std[d] = 1
 		}
@@ -88,6 +93,7 @@ func Train(lab *nettrace.Capture, window time.Duration) (*Classifier, error) {
 
 	sums := map[nettrace.Class][]float64{}
 	counts := map[nettrace.Class]int{}
+	row := 0
 	for _, dev := range devices {
 		fs := feats[dev]
 		class, err := lab.DeviceClass(dev)
@@ -99,8 +105,9 @@ func Train(lab *nettrace.Capture, window time.Duration) (*Classifier, error) {
 			acc = make([]float64, nettrace.FeatureDim)
 			sums[class] = acc
 		}
-		for _, f := range fs {
-			v := f.Vector()
+		for range fs {
+			v := flat[row*nettrace.FeatureDim : (row+1)*nettrace.FeatureDim]
+			row++
 			for d := range acc {
 				acc[d] += (v[d] - mean[d]) / std[d]
 			}
@@ -161,8 +168,10 @@ func (c *Classifier) ClassifyDevice(feats []nettrace.Features) (nettrace.Class, 
 		return 0, fmt.Errorf("classify: %w: no windows", ErrBadInput)
 	}
 	votes := map[nettrace.Class]int{}
+	vbuf := make([]float64, 0, nettrace.FeatureDim)
 	for _, f := range feats {
-		votes[c.classifyVector(f.Vector())]++
+		vbuf = f.AppendVector(vbuf[:0])
+		votes[c.classifyVector(vbuf)]++
 	}
 	var best nettrace.Class
 	bestN := -1

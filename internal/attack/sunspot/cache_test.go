@@ -85,6 +85,66 @@ func TestModelWindowCacheConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestModelWindowCacheBounded shrinks the cap and drives many distinct keys
+// through the public entry point: the cache must never exceed the cap, and
+// every answer must still match the uncached model.
+func TestModelWindowCacheBounded(t *testing.T) {
+	oldCap := modelWindowCacheCap
+	modelWindowCacheCap = 8
+	resetModelWindowCache()
+	defer func() {
+		modelWindowCacheCap = oldCap
+		resetModelWindowCache()
+	}()
+
+	date := time.Date(2017, 6, 21, 0, 0, 0, 0, time.UTC)
+	day := date
+	for i := 0; i < 50; i++ {
+		lat := 20 + float64(i)*0.5
+		wantMin, wantOK := computeModelWindowLen(day, lat, 25, 0.03)
+		gotMin, gotOK := modelWindowLen(date, lat, 25, 0.03)
+		if gotMin != wantMin || gotOK != wantOK {
+			t.Fatalf("lat=%v: got (%v,%v), want (%v,%v)", lat, gotMin, gotOK, wantMin, wantOK)
+		}
+		if n := modelWindowCacheLen(); n > modelWindowCacheCap {
+			t.Fatalf("cache grew to %d entries, cap %d", n, modelWindowCacheCap)
+		}
+	}
+}
+
+// TestModelWindowCacheEvictionConcurrent drives distinct keys from several
+// goroutines with a tiny cap so the clear-on-overflow path races against
+// readers under the race detector.
+func TestModelWindowCacheEvictionConcurrent(t *testing.T) {
+	oldCap := modelWindowCacheCap
+	modelWindowCacheCap = 4
+	resetModelWindowCache()
+	defer func() {
+		modelWindowCacheCap = oldCap
+		resetModelWindowCache()
+	}()
+
+	date := time.Date(2017, 3, 20, 0, 0, 0, 0, time.UTC)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				lat := 25 + float64((g*20+i)%10)
+				if _, ok := modelWindowLen(date, lat, 25, 0.03); !ok {
+					t.Errorf("lat=%v: unexpectedly not ok", lat)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := modelWindowCacheLen(); n > modelWindowCacheCap {
+		t.Fatalf("cache holds %d entries, cap %d", n, modelWindowCacheCap)
+	}
+}
+
 // TestModelWindowCacheEviction fills the cache past its cap and checks the
 // clear-on-overflow path still serves correct values afterwards.
 func TestModelWindowCacheEviction(t *testing.T) {

@@ -207,8 +207,9 @@ const (
 // set — fit dates × grid latitudes × candidate tilts — is a few hundred
 // thousand evaluations but only tens of thousands of distinct keys, far
 // below the cap; clearing on overflow only fires under adversarial key
-// churn and costs one recomputation pass.
-const modelWindowCacheCap = 1 << 17
+// churn and costs one recomputation pass. A variable (not a const) so the
+// eviction test can shrink it without doing 2^17 real model evaluations.
+var modelWindowCacheCap = 1 << 17
 
 // windowKey identifies one forward-model evaluation. The date is reduced to
 // its UTC day, matching modelWindowLen's own truncation.
@@ -237,6 +238,13 @@ func resetModelWindowCache() {
 	modelWindowCache.Unlock()
 }
 
+// modelWindowCacheLen reports the cache's current entry count (tests).
+func modelWindowCacheLen() int {
+	modelWindowCache.RLock()
+	defer modelWindowCache.RUnlock()
+	return len(modelWindowCache.m)
+}
+
 // modelWindowLen returns the modeled production-window length (minutes) for
 // a clear-sky, south-facing reference panel at the given latitude and date,
 // using the same fractional threshold as the attack. ok is false on polar
@@ -262,16 +270,75 @@ func modelWindowLen(date time.Time, lat, tilt, thresholdFrac float64) (minutes f
 	return minutes, ok
 }
 
+// modelStepMin is the forward model's evaluation cadence in minutes; the
+// per-day ephemeris cache below is laid out at the same cadence.
+const modelStepMin = 3
+
+// dayEphCacheCap bounds the per-day ephemeris cache: each entry is one UTC
+// day's 480 precomputed (equation-of-time, declination) pairs (~8 kB). A
+// year-long localization sweep needs ~365 entries; the cap only fires under
+// adversarial date churn and costs one recomputation pass.
+var dayEphCacheCap = 4096
+
+// dayStep is one model-grid instant's location-independent solar terms:
+// the declination trigonometry plus the hour angle at the model longitude
+// (the forward model always probes at lon=0 — longitude only shifts the
+// window, never its length).
+type dayStep struct {
+	eph sun.TrigEphemeris
+	ha  sun.HourAngle
+}
+
+// dayEphCache memoizes the location-independent solar terms per UTC day.
+// The latitude fit evaluates the same dates for every (grid latitude, tilt)
+// combination — 183 combinations per site — so hoisting the trigonometry
+// that does not depend on the candidate latitude pays for itself on the
+// first grid row. sun.EphemerisAt is pure, so a racing duplicate compute
+// stores the identical value.
+var dayEphCache = struct {
+	sync.RWMutex
+	m map[int64][]dayStep
+}{m: make(map[int64][]dayStep)}
+
+// dayEphemeris returns day's solar-term table at modelStepMin cadence; day
+// must already be truncated to UTC midnight.
+func dayEphemeris(day time.Time) []dayStep {
+	key := day.Unix()
+	dayEphCache.RLock()
+	eph, hit := dayEphCache.m[key]
+	dayEphCache.RUnlock()
+	if hit {
+		return eph
+	}
+	n := 24 * 60 / modelStepMin
+	eph = make([]dayStep, n)
+	for i := range eph {
+		t := day.Add(time.Duration(i*modelStepMin) * time.Minute)
+		te := sun.EphemerisAt(t).Trig()
+		eph[i] = dayStep{eph: te, ha: sun.HourAngleAt(t, te, 0)}
+	}
+	dayEphCache.Lock()
+	if len(dayEphCache.m) >= dayEphCacheCap {
+		dayEphCache.m = make(map[int64][]dayStep)
+	}
+	dayEphCache.m[key] = eph
+	dayEphCache.Unlock()
+	return eph
+}
+
 // computeModelWindowLen is the uncached forward model; day must already be
 // truncated to UTC midnight.
 func computeModelWindowLen(day time.Time, lat, tilt, thresholdFrac float64) (minutes float64, ok bool) {
-	const stepMin = 3
+	const stepMin = modelStepMin
 	n := 24 * 60 / stepMin
+	eph := dayEphemeris(day)
+	// Hoist the per-call site trigonometry; OutputTrigHA over the cached
+	// day table is bit-identical to sun.PlateOutputEph (see sun.PlateSite).
+	ps := sun.NewPlateSite(lat, 0, tilt, modelAzimuthDeg, modelDiffuse)
 	gen := make([]float64, n)
 	peak := 0.0
 	for i := 0; i < n; i++ {
-		t := day.Add(time.Duration(i*stepMin) * time.Minute)
-		gen[i] = sun.PlateOutput(t, lat, 0, tilt, modelAzimuthDeg, modelDiffuse)
+		gen[i] = ps.OutputTrigHA(eph[i].eph, eph[i].ha)
 		peak = math.Max(peak, gen[i])
 	}
 	if peak <= 0 {

@@ -101,67 +101,90 @@ func Shape(cap *nettrace.Capture, cfg ShapeConfig) (*nettrace.Capture, *ShapeRep
 		return nil, nil, fmt.Errorf("shape: %w: capture shorter than one interval", ErrBadConfig)
 	}
 
-	// Bucket real volumes per device-interval.
+	// Bucket real volumes per device-interval into one flat slab: device i's
+	// intervals live at vols[i*n : (i+1)*n]. Records accumulate in capture
+	// order, exactly like the old per-device map of slices.
 	type vol struct{ up, down float64 }
-	byDev := map[string][]vol{}
-	for _, d := range cap.Devices {
-		byDev[d.Name] = make([]vol, n)
+	devIdx := make(map[string]int, len(cap.Devices))
+	names := make([]string, 0, len(cap.Devices))
+	addDev := func(name string) int {
+		i, ok := devIdx[name]
+		if !ok {
+			i = len(names)
+			devIdx[name] = i
+			names = append(names, name)
+		}
+		return i
 	}
+	for _, d := range cap.Devices {
+		addDev(d.Name)
+	}
+	vols := make([]vol, len(names)*n)
 	var realBytes float64
 	for _, r := range cap.Records {
 		w := nettrace.WindowIndex(cap.Start, r.Time, cfg.Interval)
 		if w < 0 || w >= n {
 			continue
 		}
-		vs, ok := byDev[r.Device]
-		if !ok {
-			vs = make([]vol, n)
-			byDev[r.Device] = vs
+		di := addDev(r.Device)
+		if (di+1)*n > len(vols) {
+			// A device seen only in records, never declared: extend the slab.
+			vols = append(vols, make([]vol, n)...)
 		}
-		vs[w].up += float64(r.BytesUp)
-		vs[w].down += float64(r.BytesDown)
+		v := &vols[di*n+w]
+		v.up += float64(r.BytesUp)
+		v.down += float64(r.BytesDown)
 		realBytes += float64(r.BytesUp + r.BytesDown)
 	}
 
-	// Envelopes.
-	envUp := map[string]float64{}
-	envDown := map[string]float64{}
-	devNames := make([]string, 0, len(byDev))
-	for dev := range byDev {
-		devNames = append(devNames, dev)
-	}
+	// Envelopes, per device in sorted name order (float accumulation is
+	// order-sensitive; a map walk would perturb bits run to run).
+	devNames := append([]string(nil), names...)
 	sort.Strings(devNames)
-	for _, dev := range devNames {
-		var ups, downs []float64
-		for _, v := range byDev[dev] {
-			ups = append(ups, v.up)
-			downs = append(downs, v.down)
+	envUp := make([]float64, len(devNames))
+	envDown := make([]float64, len(devNames))
+	ups := make([]float64, n)
+	downs := make([]float64, n)
+	for si, dev := range devNames {
+		vs := vols[devIdx[dev]*n : (devIdx[dev]+1)*n]
+		for w, v := range vs {
+			ups[w], downs[w] = v.up, v.down
 		}
 		// Stability floor: IoT volume distributions are heavy-tailed, so a
 		// plain quantile can sit below the mean rate and the queue would
 		// grow without bound. The envelope must at least cover the mean
 		// with headroom to drain bursts.
-		envUp[dev] = math.Max(stats.Quantile(ups, cfg.EnvelopeQuantile), 1.2*stats.Mean(ups))
-		envDown[dev] = math.Max(stats.Quantile(downs, cfg.EnvelopeQuantile), 1.2*stats.Mean(downs))
+		envUp[si] = math.Max(stats.Quantile(ups, cfg.EnvelopeQuantile), 1.2*stats.Mean(ups))
+		envDown[si] = math.Max(stats.Quantile(downs, cfg.EnvelopeQuantile), 1.2*stats.Mean(downs))
 	}
 	if cfg.Uniform {
 		// One LAN-wide envelope: every device padded to the heaviest
 		// device's envelope, so volume tiers reveal nothing either.
 		var u, d float64
-		for _, dev := range devNames {
-			u = math.Max(u, envUp[dev])
-			d = math.Max(d, envDown[dev])
+		for si := range devNames {
+			u = math.Max(u, envUp[si])
+			d = math.Max(d, envDown[si])
 		}
-		for _, dev := range devNames {
-			envUp[dev], envDown[dev] = u, d
+		for si := range devNames {
+			envUp[si], envDown[si] = u, d
 		}
 	}
 
-	shaped := &nettrace.Capture{Start: cap.Start, End: cap.End, Devices: cap.Devices}
+	// Every device emits exactly one record per interval, so the final
+	// time-then-device sort order is known in advance: interval w's block
+	// holds the devices in sorted name order. Write each record straight
+	// into its sorted slot — no sort pass, no append growth.
+	D := len(devNames)
+	shaped := &nettrace.Capture{
+		Start:   cap.Start,
+		End:     cap.End,
+		Devices: cap.Devices,
+		Records: make([]nettrace.FlowRecord, n*D),
+	}
 	report := &ShapeReport{MeanDelay: cfg.Interval / 2}
 	var shapedBytes float64
-	for _, dev := range devNames {
-		eu, ed := envUp[dev], envDown[dev]
+	for si, dev := range devNames {
+		eu, ed := envUp[si], envDown[si]
 		// A zero envelope (device idle at the chosen quantile) still gets a
 		// minimal cover flow so its presence pattern stays constant too.
 		eu = math.Max(eu, 64)
@@ -172,7 +195,7 @@ func Shape(cap *nettrace.Capture, cfg ShapeConfig) (*nettrace.Capture, *ShapeRep
 			ed = math.Ceil(ed/cell) * cell
 		}
 		var queueUp, queueDown float64
-		for w, v := range byDev[dev] {
+		for w, v := range vols[devIdx[dev]*n : (devIdx[dev]+1)*n] {
 			queueUp += v.up
 			queueDown += v.down
 			queueUp -= math.Min(queueUp, eu)
@@ -185,23 +208,17 @@ func Shape(cap *nettrace.Capture, cfg ShapeConfig) (*nettrace.Capture, *ShapeRep
 					report.MaxQueueDelay = delay
 				}
 			}
-			shaped.Records = append(shaped.Records, nettrace.FlowRecord{
+			shaped.Records[w*D+si] = nettrace.FlowRecord{
 				Time:      cap.Start.Add(time.Duration(w) * cfg.Interval),
 				Device:    dev,
 				Endpoint:  "gateway.shaped.local",
 				BytesUp:   int(eu),
 				BytesDown: int(ed),
-			})
+			}
 			shapedBytes += eu + ed
 		}
 		report.UndrainedBytes += queueUp + queueDown
 	}
-	sort.Slice(shaped.Records, func(i, j int) bool {
-		if shaped.Records[i].Time.Equal(shaped.Records[j].Time) {
-			return shaped.Records[i].Device < shaped.Records[j].Device
-		}
-		return shaped.Records[i].Time.Before(shaped.Records[j].Time)
-	})
 	if realBytes > 0 {
 		report.PaddingOverhead = (shapedBytes - realBytes) / realBytes
 	}

@@ -24,11 +24,12 @@ import (
 // cached — the entry is removed before waiters are released, so the next
 // caller rebuilds.
 
-// worldMemoCap bounds retained worlds. A full suite pass touches ~15
+// worldMemoCap bounds retained worlds. A full suite pass touches ~25
 // distinct keys (t8/t9 derive different seeds, so "shared" builders still
-// produce one world per experiment id); the cap must exceed that working
-// set or repeated passes thrash the FIFO.
-const worldMemoCap = 32
+// produce one world per experiment id, and the derived classifier/shaping
+// worlds add several more); the cap must exceed that working set or
+// repeated passes thrash the FIFO.
+const worldMemoCap = 64
 
 type memoEntry struct {
 	done chan struct{} // closed when the build finishes

@@ -44,53 +44,159 @@ func networkWorldUncached(opts Options) (lab, victim *nettrace.Capture, tr *home
 	if opts.Quick {
 		days = 3
 	}
+	// The lab capture is independent of the home trace, so it builds
+	// concurrently with the home → victim chain. Each simulation owns its
+	// seeded generator, so the split cannot perturb any random stream — the
+	// three captures are bit-identical to the sequential build (pinned by
+	// suite.RunAllDeterministic and the golden figures).
+	var labErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		labCfg := nettrace.DefaultConfig(seed + 1)
+		labCfg.Days = 2
+		labCfg.Counts = map[nettrace.Class]int{}
+		for _, c := range nettrace.Classes() {
+			labCfg.Counts[c] = 1
+		}
+		lab, labErr = nettrace.Simulate(labCfg)
+	}()
 	hcfg := home.DefaultConfig(seed + 21)
 	hcfg.Days = days
 	tr, err = home.Simulate(hcfg)
+	if err == nil {
+		vcfg := nettrace.DefaultConfig(seed + 2)
+		vcfg.Days = days
+		vcfg.Activity = tr.Active
+		victim, err = nettrace.Simulate(vcfg)
+	}
+	<-done
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	labCfg := nettrace.DefaultConfig(seed + 1)
-	labCfg.Days = 2
-	labCfg.Counts = map[nettrace.Class]int{}
-	for _, c := range nettrace.Classes() {
-		labCfg.Counts[c] = 1
-	}
-	lab, err = nettrace.Simulate(labCfg)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	vcfg := nettrace.DefaultConfig(seed + 2)
-	vcfg.Days = days
-	vcfg.Activity = tr.Active
-	victim, err = nettrace.Simulate(vcfg)
-	if err != nil {
-		return nil, nil, nil, err
+	if labErr != nil {
+		return nil, nil, nil, labErr
 	}
 	return lab, victim, tr, nil
+}
+
+// netClassifiers bundles the attacker models trained on the lab capture.
+// Training is a deterministic pure function of the (memoized) lab capture,
+// and both classifiers are read-only after Train, so memoizing the trained
+// models is as sound as memoizing the capture itself.
+type netClassifiers struct {
+	clf   *fingerprint.Classifier
+	bayes *fingerprint.BayesClassifier
+}
+
+func netClassifierWorld(opts Options) (*netClassifiers, error) {
+	return memoWorld(memoKey("netclf", opts), func() (*netClassifiers, error) {
+		lab, _, _, err := networkWorld(opts)
+		if err != nil {
+			return nil, err
+		}
+		clf, err := fingerprint.Train(lab, time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		bayes, err := fingerprint.TrainBayes(lab, time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		return &netClassifiers{clf: clf, bayes: bayes}, nil
+	})
+}
+
+// gatewayDetection is the memoized compromise-detection leg of t9: the
+// injected capture, the monitor scan, and the first-alert latencies. All of
+// it is a pure function of (seed, quick); consumers only read the map.
+type gatewayDetection struct {
+	latency map[string]time.Duration
+}
+
+func gatewayDetectWorld(opts Options) (*gatewayDetection, error) {
+	return memoWorld(memoKey("gwdetect", opts), func() (*gatewayDetection, error) {
+		seed := opts.seed()
+		_, victim, tr, err := networkWorld(opts)
+		if err != nil {
+			return nil, err
+		}
+		mon, err := gateway.LearnProfiles(victim, gateway.DefaultMonitorConfig())
+		if err != nil {
+			return nil, err
+		}
+		atkCfg := nettrace.DefaultConfig(seed + 4)
+		atkCfg.Days = 3
+		atkCfg.Activity = tr.Active
+		at := atkCfg.Start.Add(30 * time.Hour)
+		atkCfg.Compromises = []nettrace.Compromise{
+			{Device: "camera-02", At: at, Kind: nettrace.CompromiseExfil},
+			{Device: "smart-plug-03", At: at, Kind: nettrace.CompromiseScan},
+			{Device: "bulb-05", At: at, Kind: nettrace.CompromiseBot},
+		}
+		compromised, err := nettrace.Simulate(atkCfg)
+		if err != nil {
+			return nil, err
+		}
+		alerts, err := mon.Scan(compromised)
+		if err != nil {
+			return nil, err
+		}
+		latency := map[string]time.Duration{}
+		for _, a := range alerts {
+			if _, ok := latency[a.Device]; !ok && !a.At.Before(at) {
+				latency[a.Device] = a.At.Sub(at)
+			}
+		}
+		return &gatewayDetection{latency: latency}, nil
+	})
+}
+
+// shapedWorld is one memoized shaping of the victim capture with its cost
+// report. The shaped capture is read-only downstream (Identify and
+// InferOccupancy only extract features).
+type shapedWorld struct {
+	cap    *nettrace.Capture
+	report *gateway.ShapeReport
+}
+
+func gatewayShapeWorld(opts Options, uniform bool) (*shapedWorld, error) {
+	name := "gwshape-perdevice"
+	if uniform {
+		name = "gwshape-uniform"
+	}
+	return memoWorld(memoKey(name, opts), func() (*shapedWorld, error) {
+		_, victim, _, err := networkWorld(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg := gateway.DefaultShapeConfig()
+		cfg.Uniform = uniform
+		sc, report, err := gateway.Shape(victim, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &shapedWorld{cap: sc, report: report}, nil
+	})
 }
 
 // TableFingerprint reproduces the §IV passive-monitoring threat: a
 // metadata-only observer identifies the devices on a ~40-device LAN and
 // infers occupancy from their traffic.
 func TableFingerprint(opts Options) (*Report, error) {
-	lab, victim, tr, err := networkWorld(opts)
+	_, victim, tr, err := networkWorld(opts)
 	if err != nil {
 		return nil, fmt.Errorf("table fingerprint: %w", err)
 	}
-	clf, err := fingerprint.Train(lab, time.Hour)
+	nc, err := netClassifierWorld(opts)
 	if err != nil {
 		return nil, fmt.Errorf("table fingerprint: %w", err)
 	}
-	id, err := fingerprint.Identify(clf, victim)
+	id, err := fingerprint.Identify(nc.clf, victim)
 	if err != nil {
 		return nil, fmt.Errorf("table fingerprint: %w", err)
 	}
-	bayes, err := fingerprint.TrainBayes(lab, time.Hour)
-	if err != nil {
-		return nil, fmt.Errorf("table fingerprint: %w", err)
-	}
-	idBayes, err := fingerprint.IdentifyBayes(bayes, victim)
+	idBayes, err := fingerprint.IdentifyBayes(nc.bayes, victim)
 	if err != nil {
 		return nil, fmt.Errorf("table fingerprint: %w", err)
 	}
@@ -134,46 +240,25 @@ func TableFingerprint(opts Options) (*Report, error) {
 // detection latency per behaviour, and the shaping defense's
 // privacy/overhead tradeoff against the fingerprinting attack.
 func TableGateway(opts Options) (*Report, error) {
-	seed := opts.seed()
-	lab, victim, tr, err := networkWorld(opts)
+	_, victim, tr, err := networkWorld(opts)
 	if err != nil {
 		return nil, fmt.Errorf("table gateway: %w", err)
 	}
 
-	// Compromise detection: train on a clean capture, inject three kinds.
-	mon, err := gateway.LearnProfiles(victim, gateway.DefaultMonitorConfig())
+	// Compromise detection: the injected capture, the scan, and the
+	// resulting first-alert latencies are memoized as one world.
+	det, err := gatewayDetectWorld(opts)
 	if err != nil {
 		return nil, fmt.Errorf("table gateway: %w", err)
 	}
-	atkCfg := nettrace.DefaultConfig(seed + 4)
-	atkCfg.Days = 3
-	atkCfg.Activity = tr.Active
-	at := atkCfg.Start.Add(30 * time.Hour)
-	atkCfg.Compromises = []nettrace.Compromise{
-		{Device: "camera-02", At: at, Kind: nettrace.CompromiseExfil},
-		{Device: "smart-plug-03", At: at, Kind: nettrace.CompromiseScan},
-		{Device: "bulb-05", At: at, Kind: nettrace.CompromiseBot},
-	}
-	compromised, err := nettrace.Simulate(atkCfg)
-	if err != nil {
-		return nil, fmt.Errorf("table gateway: %w", err)
-	}
-	alerts, err := mon.Scan(compromised)
-	if err != nil {
-		return nil, fmt.Errorf("table gateway: %w", err)
-	}
-	latency := map[string]time.Duration{}
-	for _, a := range alerts {
-		if _, ok := latency[a.Device]; !ok && !a.At.Before(at) {
-			latency[a.Device] = a.At.Sub(at)
-		}
-	}
+	latency := det.latency
 
 	// Shaping tradeoff.
-	clf, err := fingerprint.Train(lab, time.Hour)
+	nc, err := netClassifierWorld(opts)
 	if err != nil {
 		return nil, fmt.Errorf("table gateway: %w", err)
 	}
+	clf := nc.clf
 	plainID, err := fingerprint.Identify(clf, victim)
 	if err != nil {
 		return nil, fmt.Errorf("table gateway: %w", err)
@@ -198,17 +283,15 @@ func TableGateway(opts Options) (*Report, error) {
 		label   string
 		uniform bool
 	}{{"shaped (per-device)", false}, {"shaped (uniform)", true}} {
-		cfg := gateway.DefaultShapeConfig()
-		cfg.Uniform = mode.uniform
-		sc, report, err := gateway.Shape(victim, cfg)
+		sw, err := gatewayShapeWorld(opts, mode.uniform)
 		if err != nil {
 			return nil, fmt.Errorf("table gateway: %w", err)
 		}
-		sid, err := fingerprint.Identify(clf, sc)
+		sid, err := fingerprint.Identify(clf, sw.cap)
 		if err != nil {
 			return nil, fmt.Errorf("table gateway: %w", err)
 		}
-		occ, err := fingerprint.InferOccupancy(sc, fingerprint.DefaultOccupancyConfig())
+		occ, err := fingerprint.InferOccupancy(sw.cap, fingerprint.DefaultOccupancyConfig())
 		if err != nil {
 			return nil, fmt.Errorf("table gateway: %w", err)
 		}
@@ -216,7 +299,7 @@ func TableGateway(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table gateway: %w", err)
 		}
-		shapes = append(shapes, shaped{mode.label, sid.Accuracy, ev.MCC, report.PaddingOverhead})
+		shapes = append(shapes, shaped{mode.label, sid.Accuracy, ev.MCC, sw.report.PaddingOverhead})
 	}
 
 	rep := &Report{

@@ -210,7 +210,7 @@ func newRunner(spec Spec) (*runner, error) {
 		}
 		r.decoders[ai] = make([]*hmm.StreamDecoder, spec.Variants)
 		for v := range r.decoders[ai] {
-			d, err := f.NewStreamDecoder(r.k)
+			d, err := f.NewStreamDecoderBeam(r.k, spec.Beam)
 			if err != nil {
 				return nil, fmt.Errorf("fleet: %w", err)
 			}

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"privmem/internal/hmm"
 )
 
 // quickSpec is a small fleet that still exercises every archetype, multiple
@@ -53,6 +55,46 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 		if text.String() != refText.String() {
 			t.Fatalf("workers=%d render differs:\n%s\nvs\n%s", workers, text.String(), refText.String())
 		}
+	}
+}
+
+// TestRunExactBeamTransparent: an exact beam spec (any width, no approx)
+// must produce a bit-identical Result to the default dense decode — the
+// fleet-level face of the hmm exactness certificate.
+func TestRunExactBeamTransparent(t *testing.T) {
+	base := quickSpec()
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{1, 2, 64} {
+		spec := base
+		spec.Beam = hmm.Beam{Width: width}
+		got, err := Run(spec)
+		if err != nil {
+			t.Fatalf("beam width %d: %v", width, err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("beam width %d result differs:\n got %+v\nwant %+v", width, got, ref)
+		}
+	}
+}
+
+// TestRunApproxBeamRuns: the documented-approximate modes run end to end
+// and stay self-deterministic (same spec, same bytes).
+func TestRunApproxBeamRuns(t *testing.T) {
+	spec := quickSpec()
+	spec.Beam = hmm.Beam{Width: 2, Approx: true, Float32: true}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("approx beam run not repeatable:\n%+v\nvs\n%+v", a, b)
 	}
 }
 

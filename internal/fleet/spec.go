@@ -25,6 +25,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"privmem/internal/hmm"
 )
 
 // ErrBadSpec indicates an invalid fleet specification.
@@ -78,6 +80,11 @@ type Spec struct {
 	Buffer int
 	// Mix is the archetype mix; empty means an equal mix of all builtins.
 	Mix []Share
+	// Beam configures the incremental FHMM decoders. The zero value is the
+	// exact mode — bit-identical to plain streaming decode at any width, so
+	// the fleet determinism and online-equivalence laws are unaffected;
+	// Approx/Float32 opt into the documented-approximate decode.
+	Beam hmm.Beam
 
 	// testHookChunk, when set, observes every chunk the generator finishes
 	// (before it is handed to workers). Tests use it to prove backpressure
@@ -159,6 +166,9 @@ func (s Spec) Validate() error {
 	case len(s.Mix) > MaxMixParts:
 		return fmt.Errorf("%w: %d mix parts (max %d)", ErrBadSpec, len(s.Mix), MaxMixParts)
 	}
+	if err := s.Beam.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
 	seen := map[string]bool{}
 	for _, m := range s.Mix {
 		if _, ok := archetypeByName(m.Archetype); !ok {
@@ -181,7 +191,10 @@ func (s Spec) Validate() error {
 // fields:
 //
 //	homes=1000 workers=4 days=2 seed=7 step=15m window=1h history=8
-//	variants=4 buffer=2 mix=family:0.6,retired:0.4
+//	variants=4 buffer=2 mix=family:0.6,retired:0.4 beam=8 beam_mode=approx
+//
+// beam sets the FHMM decoders' beam width (0/unset keeps the auto width) and
+// beam_mode one of exact (default, bit-identical), approx, or float32.
 //
 // Unset keys take DefaultSpec values. The returned spec is validated.
 func ParseSpec(s string) (Spec, error) {
@@ -216,6 +229,19 @@ func ParseSpec(s string) (Spec, error) {
 			spec.Buffer, err = parseBoundedInt(key, val, MaxBuffer)
 		case "mix":
 			spec.Mix, err = parseMix(val)
+		case "beam":
+			spec.Beam.Width, err = parseBoundedInt(key, val, 1<<16)
+		case "beam_mode":
+			switch val {
+			case "exact":
+				spec.Beam.Approx, spec.Beam.Float32 = false, false
+			case "approx":
+				spec.Beam.Approx, spec.Beam.Float32 = true, false
+			case "float32":
+				spec.Beam.Approx, spec.Beam.Float32 = true, true
+			default:
+				err = fmt.Errorf("%w: beam_mode %q (want exact, approx or float32)", ErrBadSpec, val)
+			}
 		default:
 			err = fmt.Errorf("%w: unknown key %q", ErrBadSpec, key)
 		}

@@ -1,0 +1,301 @@
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadBeam indicates an invalid beam configuration.
+var ErrBadBeam = errors.New("hmm: invalid beam config")
+
+// Beam configures beam (top-K) pruning of the factorial Viterbi sweep.
+//
+// The recursion keeps, at each timestep, only the Width highest-scoring
+// joint states of the previous delta row as candidate predecessors. In the
+// default exact mode every pruned transition is covered by a certificate:
+// successor b's beam-restricted best is accepted only when
+//
+//	bestInBeam > maxDeltaOutsideBeam + maxTransIn[b]
+//
+// Any pruned predecessor a has delta[a] <= maxDeltaOutsideBeam and
+// trans(a->b) <= maxTransIn[b], so its score cannot reach bestInBeam; the
+// strict inequality also protects the lowest-index-wins tie-break, because
+// a state attaining the maximum must then be inside the beam, and the beam
+// is scanned in ascending joint-state order. When the certificate fails the
+// successor falls back to the full predecessor scan. Exact-mode results are
+// therefore bit-identical to Decode on every input (pinned by the golden
+// tests); the beam only changes how much work the sweep does.
+//
+// Approx drops the certificate and always accepts the beam-restricted
+// result — the documented-approximate mode: a path through a pruned
+// predecessor can be missed, trading a bounded accuracy loss for a
+// guaranteed O(nj*Width) timestep. Float32 additionally evaluates the
+// emission log-likelihood in float32 lanes; it requires Approx, because the
+// narrower mantissa perturbs scores and would silently break the
+// bit-identity contract of the default mode.
+//
+// Whether exact pruning actually saves time is model-dependent: sharply
+// separated emissions keep the certificate holding nearly everywhere, while
+// sticky chains with broad overlapping emissions (flat delta rows) trip the
+// fallback often enough to cost more than the dense sweep. Decode therefore
+// never prunes on its own — beam decoding is an explicit opt-in via
+// DecodeBeam, NewStreamDecoderBeam, or the fleet spec.
+type Beam struct {
+	// Width is the number of joint states retained per timestep. Zero
+	// selects jointCount/4 clamped to [8, jointCount]; a width >= jointCount
+	// disables pruning (the sweep is then the dense one).
+	Width int
+	// Approx accepts the beam-restricted result without the exactness
+	// certificate.
+	Approx bool
+	// Float32 evaluates emissions in float32; requires Approx.
+	Float32 bool
+}
+
+// Validate reports whether the configuration is usable. DecodeBeam and
+// NewStreamDecoderBeam run the same check; exported so spec layers (the
+// fleet) can reject a bad beam before building any decoders.
+func (b Beam) Validate() error {
+	if b.Width < 0 {
+		return fmt.Errorf("%w: width %d", ErrBadBeam, b.Width)
+	}
+	if b.Float32 && !b.Approx {
+		return fmt.Errorf("%w: Float32 requires Approx (float32 emissions are not bit-identical)", ErrBadBeam)
+	}
+	return nil
+}
+
+// width resolves the effective beam width for a lattice of nj states.
+func (b Beam) width(nj int) int {
+	w := b.Width
+	if w == 0 {
+		w = nj / 4
+		if w < 8 {
+			w = 8
+		}
+	}
+	if w > nj {
+		w = nj
+	}
+	return w
+}
+
+// ensurePrep32 builds the float32 emission tables once per model.
+func (f *Factorial) ensurePrep32() {
+	p := f.prepTables()
+	f.prep32Once.Do(func() {
+		nj := p.nj
+		p.sumMean32 = make([]float32, nj)
+		p.emitStd32 = make([]float32, nj)
+		p.logStdC32 = make([]float32, nj)
+		for j := 0; j < nj; j++ {
+			p.sumMean32[j] = float32(p.sumMean[j])
+			p.emitStd32[j] = float32(p.emitStd[j])
+			p.logStdC32[j] = float32(p.logStd[j] + halfLog2Pi)
+		}
+	})
+}
+
+// emitLog32 is emitLog in float32 lanes: same expression shape, narrower
+// mantissa. Only the documented-approximate Float32 mode uses it.
+func (p *factorialPrep) emitLog32(x float32, j int) float32 {
+	d := (x - p.sumMean32[j]) / p.emitStd32[j]
+	return -0.5*d*d - p.logStdC32[j]
+}
+
+// kthLargest partially reorders vals in place and returns the k-th largest
+// value (1 <= k <= len(vals)). Median-of-three quickselect: deterministic
+// (no randomness — the decode must be reproducible) and resistant to the
+// sorted rows the delta sequence tends toward.
+func kthLargest(vals []float64, k int) float64 {
+	lo, hi := 0, len(vals)-1
+	target := k - 1
+	for lo < hi {
+		p := partitionDesc(vals, lo, hi)
+		switch {
+		case p == target:
+			return vals[p]
+		case p < target:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return vals[lo]
+}
+
+// partitionDesc partitions vals[lo..hi] around a median-of-three pivot in
+// descending order and returns the pivot's final index.
+func partitionDesc(vals []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if vals[mid] > vals[lo] {
+		vals[mid], vals[lo] = vals[lo], vals[mid]
+	}
+	if vals[hi] > vals[lo] {
+		vals[hi], vals[lo] = vals[lo], vals[hi]
+	}
+	if vals[hi] > vals[mid] {
+		vals[hi], vals[mid] = vals[mid], vals[hi]
+	}
+	// vals[lo] >= vals[mid] >= vals[hi]: the median moves to hi as pivot.
+	vals[mid], vals[hi] = vals[hi], vals[mid]
+	pivot := vals[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if vals[j] > pivot {
+			vals[i], vals[j] = vals[j], vals[i]
+			i++
+		}
+	}
+	vals[i], vals[hi] = vals[hi], vals[i]
+	return i
+}
+
+// beamSelect fills sc.beamIdx with the indices of the width largest delta
+// values in ascending joint-state order and returns the largest delta value
+// outside the beam (-Inf when the beam covers every state). Every value
+// strictly above the selection threshold is guaranteed a beam slot; ties at
+// the threshold fill the remainder lowest-index-first.
+func beamSelect(delta []float64, width int, sc *decodeScratch) float64 {
+	nj := len(delta)
+	if cap(sc.selVals) < nj {
+		sc.selVals = make([]float64, nj)
+	}
+	vals := sc.selVals[:nj]
+	copy(vals, delta)
+	thr := kthLargest(vals, width)
+
+	above := 0
+	for _, v := range delta {
+		if v > thr {
+			above++
+		}
+	}
+	eqBudget := width - above
+
+	if cap(sc.beamIdx) < width {
+		sc.beamIdx = make([]int32, 0, width)
+	}
+	idx := sc.beamIdx[:0]
+	out := math.Inf(-1)
+	for a, v := range delta {
+		switch {
+		case v > thr:
+			idx = append(idx, int32(a))
+		case v == thr && eqBudget > 0:
+			idx = append(idx, int32(a))
+			eqBudget--
+		default:
+			if v > out {
+				out = v
+			}
+		}
+	}
+	sc.beamIdx = idx
+	return out
+}
+
+// beamSweep runs one pruned timestep of the Viterbi recursion: successors
+// scan only the beam members of the previous delta row, with (in exact
+// mode) a certificate-gated fallback to the full scan. See Beam for the
+// exactness argument.
+func (p *factorialPrep) beamSweep(x float64, delta, next []float64, prevRow []int32, sc *decodeScratch, width int, bm Beam) {
+	nj := p.nj
+	if width >= nj {
+		if bm.Float32 {
+			x32 := float32(x)
+			for b := 0; b < nj; b++ {
+				row := p.transT[b*nj : b*nj+nj]
+				d := delta[:len(row)]
+				best, arg := math.Inf(-1), 0
+				for a, tl := range row {
+					if v := d[a] + tl; v > best {
+						best, arg = v, a
+					}
+				}
+				next[b] = best + float64(p.emitLog32(x32, b))
+				prevRow[b] = int32(arg)
+			}
+			return
+		}
+		p.sweepRange(x, delta, next, prevRow, 0, nj)
+		return
+	}
+
+	out := beamSelect(delta, width, sc)
+	idx := sc.beamIdx
+	var x32 float32
+	if bm.Float32 {
+		x32 = float32(x)
+	}
+	for b := 0; b < nj; b++ {
+		row := p.transT[b*nj : b*nj+nj]
+		best, arg := math.Inf(-1), 0
+		for _, a32 := range idx {
+			a := int(a32)
+			if v := delta[a] + row[a]; v > best {
+				best, arg = v, a
+			}
+		}
+		if !bm.Approx && !(best > out+p.maxTransIn[b]) {
+			// Certificate failed: a pruned predecessor might beat (or tie at
+			// a lower index with) the in-beam best. Rescan densely; the
+			// result is then the dense sweep's by construction.
+			best, arg = math.Inf(-1), 0
+			d := delta[:len(row)]
+			for a, tl := range row {
+				if v := d[a] + tl; v > best {
+					best, arg = v, a
+				}
+			}
+		}
+		if bm.Float32 {
+			next[b] = best + float64(p.emitLog32(x32, b))
+		} else {
+			next[b] = best + p.emitLog(x, b)
+		}
+		prevRow[b] = int32(arg)
+	}
+}
+
+// DecodeBeam is Decode with beam pruning under the given configuration. The
+// zero-value Beam{} runs exact auto-width pruning — bit-identical to Decode
+// — while Approx/Float32 opt into the documented-approximate modes. See
+// Beam for the semantics.
+func (f *Factorial) DecodeBeam(obs []float64, bm Beam) ([][]int, error) {
+	if err := bm.Validate(); err != nil {
+		return nil, err
+	}
+	nc := len(f.Chains)
+	if len(obs) == 0 {
+		return make([][]int, nc), nil
+	}
+	p := f.prepTables()
+	if bm.Float32 {
+		f.ensurePrep32()
+	}
+	nj := p.nj
+	width := bm.width(nj)
+
+	sc := f.getScratch(nj)
+	defer f.scratch.Put(sc)
+	delta, next := sc.delta[:nj], sc.next[:nj]
+	prev := make([]int32, len(obs)*nj)
+
+	if bm.Float32 {
+		x32 := float32(obs[0])
+		for j := 0; j < nj; j++ {
+			delta[j] = p.initLog[j] + float64(p.emitLog32(x32, j))
+		}
+	} else {
+		for j := 0; j < nj; j++ {
+			delta[j] = p.initLog[j] + p.emitLog(obs[0], j)
+		}
+	}
+	for t := 1; t < len(obs); t++ {
+		p.beamSweep(obs[t], delta, next, prev[t*nj:(t+1)*nj], sc, width, bm)
+		delta, next = next, delta
+	}
+	return assemblePaths(p, delta, prev, len(obs)), nil
+}

@@ -1,0 +1,355 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// pathScore evaluates the joint log probability of a decoded per-chain path
+// under the factorial model, with naive textbook arithmetic. Both sides of an
+// accuracy comparison go through this same scorer, so the comparison is fair
+// regardless of kernel-internal arithmetic.
+func pathScore(f *Factorial, obs []float64, paths [][]int) float64 {
+	var lp float64
+	for t := range obs {
+		mean, variance := 0.0, f.ObsStd*f.ObsStd
+		for i, c := range f.Chains {
+			s := paths[i][t]
+			mean += c.Means[s]
+			variance += c.Stds[s] * c.Stds[s]
+			if t == 0 {
+				lp += safeLog(c.Initial[s])
+			} else {
+				lp += safeLog(c.Trans[paths[i][t-1]][s])
+			}
+		}
+		std := math.Sqrt(variance)
+		if std < minStd {
+			std = minStd
+		}
+		lp += refLogGauss(obs[t], mean, std)
+	}
+	return lp
+}
+
+func comparePaths(t *testing.T, trial int, got, want [][]int, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("trial %d (%s): %d chains, want %d", trial, label, len(got), len(want))
+	}
+	for c := range want {
+		if len(got[c]) != len(want[c]) {
+			t.Fatalf("trial %d (%s): chain %d length %d, want %d",
+				trial, label, c, len(got[c]), len(want[c]))
+		}
+		for i := range want[c] {
+			if got[c][i] != want[c][i] {
+				t.Fatalf("trial %d (%s): chain %d state[%d] = %d, want %d",
+					trial, label, c, i, got[c][i], want[c][i])
+			}
+		}
+	}
+}
+
+// Exact-mode beam pruning must be bit-identical to the naive reference on
+// every input — including width 1 (maximal pruning, the certificate fires
+// constantly) and widths at or beyond the joint count (dense).
+func TestDecodeBeamExactMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 12; trial++ {
+		nc := 1 + rng.Intn(4)
+		chains := make([]*Model, nc)
+		for i := range chains {
+			chains[i] = randomModel(rng, 2+rng.Intn(3))
+		}
+		f, err := NewFactorial(chains, 50+rng.Float64()*200)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		obs := make([]float64, 10+rng.Intn(120))
+		for i := range obs {
+			obs[i] = rng.Float64() * 4000
+		}
+		want := refFactorialDecode(f, obs)
+		nj := f.jointCount()
+		for _, bm := range []Beam{
+			{},         // auto width
+			{Width: 1}, // maximal pruning
+			{Width: 2},
+			{Width: nj},     // dense
+			{Width: 2 * nj}, // clamped dense
+		} {
+			got, err := f.DecodeBeam(obs, bm)
+			if err != nil {
+				t.Fatalf("trial %d width %d: %v", trial, bm.Width, err)
+			}
+			comparePaths(t, trial, got, want, "exact beam")
+		}
+	}
+}
+
+func TestDecodeBeamEmptyObs(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f, err := NewFactorial([]*Model{randomModel(rng, 2), randomModel(rng, 3)}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := f.DecodeBeam(nil, Beam{Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("chains = %d, want 2", len(paths))
+	}
+	for c, p := range paths {
+		if len(p) != 0 {
+			t.Fatalf("chain %d: %d states for empty obs", c, len(p))
+		}
+	}
+}
+
+func TestBeamValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f, err := NewFactorial([]*Model{randomModel(rng, 2)}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecodeBeam([]float64{1, 2}, Beam{Width: -1}); err == nil {
+		t.Fatal("negative width accepted")
+	}
+	if _, err := f.DecodeBeam([]float64{1, 2}, Beam{Float32: true}); err == nil {
+		t.Fatal("Float32 without Approx accepted")
+	}
+	if _, err := f.NewStreamDecoderBeam(4, Beam{Width: -2}); err == nil {
+		t.Fatal("stream: negative width accepted")
+	}
+	if _, err := f.NewStreamDecoderBeam(4, Beam{Float32: true}); err == nil {
+		t.Fatal("stream: Float32 without Approx accepted")
+	}
+	if _, err := f.NewStreamDecoderBeam(0, Beam{}); err == nil {
+		t.Fatal("stream: zero window accepted")
+	}
+}
+
+// wellSeparated builds a factorial model whose joint emission means are far
+// apart relative to their stds, so the Viterbi path is sharply determined and
+// approximate modes should recover (nearly) all of it.
+func wellSeparated() (*Factorial, []float64) {
+	rng := rand.New(rand.NewSource(24))
+	var chains []*Model
+	for c := 0; c < 3; c++ {
+		chains = append(chains, &Model{
+			Initial: []float64{0.5, 0.5},
+			Trans:   [][]float64{{0.9, 0.1}, {0.1, 0.9}},
+			Means:   []float64{0, 700 * float64(c+1)},
+			Stds:    []float64{3, 6},
+		})
+	}
+	f, err := NewFactorial(chains, 20)
+	if err != nil {
+		panic(err)
+	}
+	// Observations hop between joint means with small noise, so the true
+	// path is essentially unambiguous.
+	obs := make([]float64, 400)
+	for i := range obs {
+		var mean float64
+		for c := range chains {
+			if rng.Intn(2) == 1 {
+				mean += chains[c].Means[1]
+			}
+		}
+		obs[i] = mean + rng.NormFloat64()*10
+	}
+	return f, obs
+}
+
+// Approx mode drops the exactness certificate; its path score can only be
+// below the exact optimum, and on a well-separated model the loss must stay
+// within a small relative bound with near-total state agreement.
+func TestDecodeBeamApproxAccuracy(t *testing.T) {
+	f, obs := wellSeparated()
+	exact, err := f.Decode(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactScore := pathScore(f, obs, exact)
+	for _, bm := range []Beam{
+		{Width: 2, Approx: true},
+		{Width: 4, Approx: true},
+		{Width: 4, Approx: true, Float32: true},
+	} {
+		got, err := f.DecodeBeam(obs, bm)
+		if err != nil {
+			t.Fatalf("%+v: %v", bm, err)
+		}
+		gotScore := pathScore(f, obs, got)
+		if gotScore > exactScore+1e-6 {
+			t.Fatalf("%+v: approx score %v beats exact optimum %v", bm, gotScore, exactScore)
+		}
+		// Relative score loss bound: within 1% of the optimum's magnitude.
+		if loss := exactScore - gotScore; loss > 0.01*math.Abs(exactScore) {
+			t.Fatalf("%+v: score loss %v exceeds 1%% of |%v|", bm, loss, exactScore)
+		}
+		total, agree := 0, 0
+		for c := range exact {
+			for i := range exact[c] {
+				total++
+				if got[c][i] == exact[c][i] {
+					agree++
+				}
+			}
+		}
+		if float64(agree) < 0.95*float64(total) {
+			t.Fatalf("%+v: state agreement %d/%d below 95%%", bm, agree, total)
+		}
+	}
+}
+
+// An exact-mode beam stream must emit bit-identically to the plain stream
+// (and hence to DecodeWindowed) under arbitrary push chunking.
+func TestStreamDecoderBeamExactMatchesStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	chains := []*Model{randomModel(rng, 3), randomModel(rng, 2), randomModel(rng, 2)}
+	f, err := NewFactorial(chains, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]float64, 257)
+	for i := range obs {
+		obs[i] = rng.Float64() * 3000
+	}
+	for _, window := range []int{1, 7, 64} {
+		plain, err := f.NewStreamDecoder(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beam, err := f.NewStreamDecoderBeam(window, Beam{Width: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range obs {
+			pOut, pOK := plain.Push(x)
+			bOut, bOK := beam.Push(x)
+			if pOK != bOK {
+				t.Fatalf("window %d, obs %d: emit %v vs %v", window, i, bOK, pOK)
+			}
+			if pOK {
+				comparePaths(t, i, bOut, pOut, "stream beam window")
+			}
+		}
+		pOut, pOK := plain.Flush()
+		bOut, bOK := beam.Flush()
+		if pOK != bOK {
+			t.Fatalf("window %d: flush emit %v vs %v", window, bOK, pOK)
+		}
+		if pOK {
+			comparePaths(t, -1, bOut, pOut, "stream beam flush")
+		}
+	}
+}
+
+// A float32 approximate beam stream emits well-formed windows whose
+// concatenation covers every observation with valid states.
+func TestStreamDecoderBeamFloat32Runs(t *testing.T) {
+	f, obs := wellSeparated()
+	d, err := f.NewStreamDecoderBeam(32, Beam{Width: 2, Approx: true, Float32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	check := func(out [][]int) {
+		if len(out) != len(f.Chains) {
+			t.Fatalf("emitted %d chains, want %d", len(out), len(f.Chains))
+		}
+		for c := range out {
+			for _, s := range out[c] {
+				if s < 0 || s >= f.Chains[c].K() {
+					t.Fatalf("chain %d: state %d out of range", c, s)
+				}
+			}
+		}
+		emitted += len(out[0])
+	}
+	for _, x := range obs {
+		if out, ok := d.Push(x); ok {
+			check(out)
+		}
+	}
+	if out, ok := d.Flush(); ok {
+		check(out)
+	}
+	if emitted != len(obs) {
+		t.Fatalf("emitted %d states, want %d", emitted, len(obs))
+	}
+}
+
+func TestKthLargest(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		vals := make([]float64, n)
+		for i := range vals {
+			// Coarse quantization forces duplicate values.
+			vals[i] = float64(rng.Intn(8))
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		k := 1 + rng.Intn(n)
+		if got := kthLargest(append([]float64(nil), vals...), k); got != sorted[k-1] {
+			t.Fatalf("trial %d: kthLargest(%v, %d) = %v, want %v", trial, vals, k, got, sorted[k-1])
+		}
+	}
+}
+
+// beamSelect must put every strictly-above-threshold state in the beam, keep
+// the beam in ascending order, fill threshold ties lowest-index-first, and
+// report the true max outside the beam.
+func TestBeamSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(48)
+		delta := make([]float64, n)
+		for i := range delta {
+			delta[i] = float64(rng.Intn(6)) // duplicates likely
+		}
+		width := 1 + rng.Intn(n-1)
+		sc := &decodeScratch{}
+		out := beamSelect(delta, width, sc)
+		idx := sc.beamIdx
+		if len(idx) != width {
+			t.Fatalf("trial %d: beam size %d, want %d", trial, len(idx), width)
+		}
+		in := make(map[int]bool, width)
+		for i := 1; i < len(idx); i++ {
+			if idx[i] <= idx[i-1] {
+				t.Fatalf("trial %d: beam not strictly ascending: %v", trial, idx)
+			}
+		}
+		for _, a := range idx {
+			in[int(a)] = true
+		}
+		// out is exactly the max over excluded states.
+		wantOut := math.Inf(-1)
+		for a, v := range delta {
+			if !in[a] && v > wantOut {
+				wantOut = v
+			}
+		}
+		if out != wantOut {
+			t.Fatalf("trial %d: out = %v, want %v", trial, out, wantOut)
+		}
+		// No excluded state may strictly exceed any included one.
+		minIn := math.Inf(1)
+		for a := range in {
+			if delta[a] < minIn {
+				minIn = delta[a]
+			}
+		}
+		if wantOut > minIn {
+			t.Fatalf("trial %d: excluded max %v beats included min %v", trial, wantOut, minIn)
+		}
+	}
+}

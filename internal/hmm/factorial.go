@@ -39,6 +39,10 @@ type Factorial struct {
 	prepOnce sync.Once
 	prep     *factorialPrep
 
+	// prep32Once guards the lazily-built float32 emission tables inside
+	// prep (only Beam decodes with Float32 set need them).
+	prep32Once sync.Once
+
 	// scratch recycles per-Decode working buffers (delta/next rows and the
 	// emission row) across calls and chunks.
 	scratch sync.Pool
@@ -67,8 +71,20 @@ type factorialPrep struct {
 	// per step and thrashes the cache).
 	transT []float64
 
+	// maxTransIn[b] is the largest log transition probability into b from
+	// any predecessor — the bound the beam sweep's exactness certificate is
+	// built on (see Beam).
+	maxTransIn []float64
+
 	// states[j*nc+i] is chain i's state inside joint state j.
 	states []int32
+
+	// Float32 emission tables, built lazily by ensurePrep32 for Beam
+	// decodes with Float32 set: the per-joint-state summed mean, emission
+	// std, and the combined constant log term (log std + 0.5*log(2*pi)).
+	sumMean32 []float32
+	emitStd32 []float32
+	logStdC32 []float32
 }
 
 // NewFactorial validates the chains and returns a Factorial ready to decode.
@@ -159,6 +175,16 @@ func (f *Factorial) buildPrep() *factorialPrep {
 			p.transT[b*nj+a] = lp
 		}
 	}
+	p.maxTransIn = make([]float64, nj)
+	for b := 0; b < nj; b++ {
+		m := math.Inf(-1)
+		for _, v := range p.transT[b*nj : b*nj+nj] {
+			if v > m {
+				m = v
+			}
+		}
+		p.maxTransIn[b] = m
+	}
 	return p
 }
 
@@ -172,10 +198,55 @@ func (p *factorialPrep) emitLog(x float64, j int) float64 {
 }
 
 // decodeScratch holds the per-call working set reused across timesteps and
-// across Decode calls (via the Factorial's pool).
+// across Decode calls (via the Factorial's pool). The beam fields are only
+// populated by beam decodes and persist in the pool alongside the rows.
 type decodeScratch struct {
 	delta []float64
 	next  []float64
+	// beamIdx holds the beam members (ascending joint-state order); selVals
+	// is the quickselect scratch for the per-timestep threshold.
+	beamIdx []int32
+	selVals []float64
+}
+
+// getScratch checks a decodeScratch with rows of at least nj out of the
+// pool, allocating fresh rows when the pooled one is too small.
+func (f *Factorial) getScratch(nj int) *decodeScratch {
+	sc, _ := f.scratch.Get().(*decodeScratch)
+	if sc == nil || len(sc.delta) < nj {
+		sc = &decodeScratch{
+			delta: make([]float64, nj),
+			next:  make([]float64, nj),
+		}
+	}
+	return sc
+}
+
+// assemblePaths backtracks the flat backpointer lattice from the final
+// delta row's argmax (strictly-greater, lowest index wins) and splits the
+// joint path per chain. Shared by the dense and beam decoders.
+func assemblePaths(p *factorialPrep, delta []float64, prev []int32, n int) [][]int {
+	nj, nc := p.nj, p.nc
+	best, arg := math.Inf(-1), 0
+	for j := 0; j < nj; j++ {
+		if delta[j] > best {
+			best, arg = delta[j], j
+		}
+	}
+	out := make([][]int, nc)
+	for i := range out {
+		out[i] = make([]int, n)
+	}
+	j := arg
+	for t := n - 1; t >= 0; t-- {
+		for i := range out {
+			out[i][t] = int(p.states[j*nc+i])
+		}
+		if t > 0 {
+			j = int(prev[t*nj+j])
+		}
+	}
+	return out
 }
 
 // sweepRange runs one timestep of the Viterbi recursion for successors
@@ -217,13 +288,7 @@ func (f *Factorial) Decode(obs []float64) ([][]int, error) {
 	p := f.prepTables()
 	nj := p.nj
 
-	sc, _ := f.scratch.Get().(*decodeScratch)
-	if sc == nil || len(sc.delta) < nj {
-		sc = &decodeScratch{
-			delta: make([]float64, nj),
-			next:  make([]float64, nj),
-		}
-	}
+	sc := f.getScratch(nj)
 	defer f.scratch.Put(sc)
 	delta, next := sc.delta[:nj], sc.next[:nj]
 
@@ -251,28 +316,7 @@ func (f *Factorial) Decode(obs []float64) ([][]int, error) {
 		}
 	}
 
-	best, arg := math.Inf(-1), 0
-	for j := 0; j < nj; j++ {
-		if delta[j] > best {
-			best, arg = delta[j], j
-		}
-	}
-
-	// Backtrack and split the joint path per chain.
-	out := make([][]int, nc)
-	for i := range out {
-		out[i] = make([]int, len(obs))
-	}
-	j := arg
-	for t := len(obs) - 1; t >= 0; t-- {
-		for i := range out {
-			out[i][t] = int(p.states[j*nc+i])
-		}
-		if t > 0 {
-			j = int(prev[t*nj+j])
-		}
-	}
-	return out, nil
+	return assemblePaths(p, delta, prev, len(obs)), nil
 }
 
 // decodeSweepParallel runs the timestep recursion with the successor range

@@ -181,6 +181,21 @@ func Simulate(cfg Config) (*Capture, error) {
 		compromised[cmp.Device] = cmp
 	}
 
+	// Preallocate the record slab from the expected benign volume
+	// (heartbeat cadence plus event rate per device); growth reallocation
+	// during the append loops was the simulation's dominant allocator churn.
+	// Compromise traffic still appends past the estimate when scheduled.
+	est := 0
+	dur := end.Sub(cfg.Start)
+	for _, dev := range cap.Devices {
+		p := profiles[dev.Class]
+		if p.HeartbeatPeriod > 0 {
+			est += int(dur/p.HeartbeatPeriod) + 1
+		}
+		est += int(float64(cfg.Days) * 24 * p.EventRatePerHour)
+	}
+	cap.Records = make([]FlowRecord, 0, est+est/8)
+
 	for _, dev := range cap.Devices {
 		p := profiles[dev.Class]
 		devRng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashString(dev.Name))))

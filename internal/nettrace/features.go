@@ -37,7 +37,14 @@ type Features struct {
 // Vector returns the feature vector used by classifiers. Volumes are
 // log-compressed: they span six orders of magnitude across device classes.
 func (f Features) Vector() []float64 {
-	return []float64{
+	return f.AppendVector(make([]float64, 0, FeatureDim))
+}
+
+// AppendVector appends the feature vector to dst and returns it — the
+// allocation-free form of Vector for hot classifier loops that reuse one
+// buffer across windows.
+func (f Features) AppendVector(dst []float64) []float64 {
+	return append(dst,
 		math.Log1p(float64(f.Flows)),
 		math.Log1p(f.BytesUp),
 		math.Log1p(f.BytesDown),
@@ -45,7 +52,7 @@ func (f Features) Vector() []float64 {
 		math.Log1p(f.MeanGapS),
 		f.GapCV,
 		math.Log1p(f.MaxFlowUp),
-	}
+	)
 }
 
 // FeatureDim is the length of Features.Vector.
@@ -68,24 +75,134 @@ func WindowIndex(start, t time.Time, width time.Duration) int {
 
 // ExtractFeatures buckets a capture into fixed windows per device and
 // summarizes each non-empty window.
+//
+// The kernel is allocation-shaped around the dominant producers (Simulate
+// and Shape emit time-sorted records): record indices are grouped per device
+// into one shared slab, and a device whose subsequence is already
+// time-sorted is summarized by a single run walk — window indices are then
+// nondecreasing, so each window is a contiguous run and its aggregates
+// accumulate in original record order, exactly like the naive bucketing
+// kernel. Devices whose records arrive out of order (possible for captures
+// read back via ReadCapture) take the naive per-window bucketing path, so
+// results are bit-identical either way.
 func ExtractFeatures(cap *Capture, window time.Duration) (map[string][]Features, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("%w: window %v", ErrBadConfig, window)
 	}
+	recs := cap.Records
+
+	// Group record indices by device in record order, carving per-device
+	// slices out of one slab sized by a counting pass.
+	counts := make(map[string]int, 16)
+	for i := range recs {
+		counts[recs[i].Device]++
+	}
+	slab := make([]int32, 0, len(recs))
+	byDev := make(map[string][]int32, len(counts))
+	for dev, n := range counts {
+		o := len(slab)
+		slab = slab[:o+n]
+		byDev[dev] = slab[o : o : o+n]
+	}
+	for i := range recs {
+		byDev[recs[i].Device] = append(byDev[recs[i].Device], int32(i))
+	}
+
+	out := make(map[string][]Features, len(byDev))
+	sc := &featureScratch{endpoints: make(map[string]struct{}, 16)}
+	for dev, idx := range byDev {
+		sorted := true
+		for k := 1; k < len(idx); k++ {
+			if recs[idx[k]].Time.Before(recs[idx[k-1]].Time) {
+				sorted = false
+				break
+			}
+		}
+		if sorted {
+			out[dev] = extractSortedDevice(cap, dev, idx, window, sc)
+		} else {
+			out[dev] = extractUnsortedDevice(cap, dev, idx, window)
+		}
+	}
+	return out, nil
+}
+
+// featureScratch is the per-call working set extractSortedDevice reuses
+// across devices and windows.
+type featureScratch struct {
+	gaps      []float64
+	endpoints map[string]struct{}
+}
+
+// summarizeWindow folds one window's gap statistics into f. A single-flow
+// window observes no gap at all; its true gap is right-censored at the
+// window length, so MeanGapS reports the window length rather than 0 — a
+// zero would alias a sparse device with a burst of simultaneous flows.
+// GapCV stays 0 there: no variation was observed.
+func summarizeWindow(f *Features, gaps []float64, window time.Duration) {
+	if len(gaps) > 0 {
+		f.MeanGapS = stats.Mean(gaps)
+		if f.MeanGapS > 0 {
+			f.GapCV = stats.Std(gaps) / f.MeanGapS
+		}
+	} else {
+		f.MeanGapS = window.Seconds()
+	}
+}
+
+// extractSortedDevice summarizes a device whose record subsequence is
+// time-sorted: windows are contiguous runs of the index slice, visited in
+// ascending window order, with all aggregates accumulated in record order.
+func extractSortedDevice(cap *Capture, dev string, idx []int32, window time.Duration, sc *featureScratch) []Features {
+	recs := cap.Records
+	var out []Features
+	for lo := 0; lo < len(idx); {
+		w := WindowIndex(cap.Start, recs[idx[lo]].Time, window)
+		hi := lo + 1
+		for hi < len(idx) && WindowIndex(cap.Start, recs[idx[hi]].Time, window) == w {
+			hi++
+		}
+		f := Features{
+			Device:      dev,
+			WindowStart: cap.Start.Add(time.Duration(w) * window),
+			Flows:       hi - lo,
+		}
+		clear(sc.endpoints)
+		sc.gaps = sc.gaps[:0]
+		for k := lo; k < hi; k++ {
+			r := &recs[idx[k]]
+			f.BytesUp += float64(r.BytesUp)
+			f.BytesDown += float64(r.BytesDown)
+			f.MaxFlowUp = math.Max(f.MaxFlowUp, float64(r.BytesUp))
+			sc.endpoints[r.Endpoint] = struct{}{}
+			if k > lo {
+				sc.gaps = append(sc.gaps, r.Time.Sub(recs[idx[k-1]].Time).Seconds())
+			}
+		}
+		f.DistinctEndpoints = len(sc.endpoints)
+		summarizeWindow(&f, sc.gaps, window)
+		out = append(out, f)
+		lo = hi
+	}
+	return out
+}
+
+// extractUnsortedDevice is the naive bucketing kernel, kept verbatim for
+// devices whose records are not time-sorted: per-window aggregates
+// accumulate in record order, then each window's times are sorted for the
+// gap statistics.
+func extractUnsortedDevice(cap *Capture, dev string, idx []int32, window time.Duration) []Features {
+	recs := cap.Records
 	type bucket struct {
 		times     []time.Time
 		up, down  float64
 		endpoints map[string]bool
 		maxUp     float64
 	}
-	buckets := map[string]map[int]*bucket{}
-	for _, r := range cap.Records {
+	byWin := map[int]*bucket{}
+	for _, i := range idx {
+		r := &recs[i]
 		w := WindowIndex(cap.Start, r.Time, window)
-		byWin, ok := buckets[r.Device]
-		if !ok {
-			byWin = map[int]*bucket{}
-			buckets[r.Device] = byWin
-		}
 		b, ok := byWin[w]
 		if !ok {
 			b = &bucket{endpoints: map[string]bool{}}
@@ -97,44 +214,30 @@ func ExtractFeatures(cap *Capture, window time.Duration) (map[string][]Features,
 		b.endpoints[r.Endpoint] = true
 		b.maxUp = math.Max(b.maxUp, float64(r.BytesUp))
 	}
-
-	out := map[string][]Features{}
-	for dev, byWin := range buckets {
-		wins := make([]int, 0, len(byWin))
-		for w := range byWin {
-			wins = append(wins, w)
-		}
-		sort.Ints(wins)
-		for _, w := range wins {
-			b := byWin[w]
-			sort.Slice(b.times, func(i, j int) bool { return b.times[i].Before(b.times[j]) })
-			var gaps []float64
-			for i := 1; i < len(b.times); i++ {
-				gaps = append(gaps, b.times[i].Sub(b.times[i-1]).Seconds())
-			}
-			f := Features{
-				Device:            dev,
-				WindowStart:       cap.Start.Add(time.Duration(w) * window),
-				Flows:             len(b.times),
-				BytesUp:           b.up,
-				BytesDown:         b.down,
-				DistinctEndpoints: len(b.endpoints),
-				MaxFlowUp:         b.maxUp,
-			}
-			if len(gaps) > 0 {
-				f.MeanGapS = stats.Mean(gaps)
-				if f.MeanGapS > 0 {
-					f.GapCV = stats.Std(gaps) / f.MeanGapS
-				}
-			} else {
-				// Single-flow window: the gap to the next flow exceeds the
-				// window, so report the window length as a right-censored
-				// estimate (see the Features.MeanGapS contract). GapCV stays
-				// 0: no variation was observed.
-				f.MeanGapS = window.Seconds()
-			}
-			out[dev] = append(out[dev], f)
-		}
+	wins := make([]int, 0, len(byWin))
+	for w := range byWin {
+		wins = append(wins, w)
 	}
-	return out, nil
+	sort.Ints(wins)
+	out := make([]Features, 0, len(wins))
+	for _, w := range wins {
+		b := byWin[w]
+		sort.Slice(b.times, func(i, j int) bool { return b.times[i].Before(b.times[j]) })
+		var gaps []float64
+		for i := 1; i < len(b.times); i++ {
+			gaps = append(gaps, b.times[i].Sub(b.times[i-1]).Seconds())
+		}
+		f := Features{
+			Device:            dev,
+			WindowStart:       cap.Start.Add(time.Duration(w) * window),
+			Flows:             len(b.times),
+			BytesUp:           b.up,
+			BytesDown:         b.down,
+			DistinctEndpoints: len(b.endpoints),
+			MaxFlowUp:         b.maxUp,
+		}
+		summarizeWindow(&f, gaps, window)
+		out = append(out, f)
+	}
+	return out
 }

@@ -73,14 +73,17 @@ func Generate(site Site, field *weather.Field, start time.Time, days int, step t
 	n := days * int(24*time.Hour/step)
 	out := timeseries.MustNew(start, step, n)
 	rng := rand.New(rand.NewSource(seed))
+	// Diffuse-plus-beam flat-plate model: panels see diffuse light from
+	// dawn onward regardless of orientation (which is why generation
+	// tracks sunrise and sunset closely), while the beam component
+	// follows the panel's incidence geometry. The site trigonometry is
+	// constant across the trace, so hoist it (bit-identical to
+	// sun.PlateOutput — see sun.PlateSite).
+	const diffuseFrac = 0.16
+	ps := sun.NewPlateSite(site.Lat, site.Lon, site.TiltDeg, site.AzimuthDeg, diffuseFrac)
 	for i := 0; i < n; i++ {
 		t := out.TimeAt(i)
-		// Diffuse-plus-beam flat-plate model: panels see diffuse light from
-		// dawn onward regardless of orientation (which is why generation
-		// tracks sunrise and sunset closely), while the beam component
-		// follows the panel's incidence geometry.
-		const diffuseFrac = 0.16
-		poa := sun.PlateOutput(t, site.Lat, site.Lon, site.TiltDeg, site.AzimuthDeg, diffuseFrac)
+		poa := ps.OutputTrig(t, sun.EphemerisAt(t).Trig())
 		if poa <= 0 {
 			continue
 		}

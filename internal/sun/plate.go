@@ -1,0 +1,132 @@
+package sun
+
+import (
+	"math"
+	"time"
+)
+
+// Hoisted flat-plate kernel. The SunSpot forward model and the PV
+// simulator evaluate PlateOutputEph millions of times per suite run with
+// most arguments held constant: the declination trigonometry is
+// location-independent (shareable across every latitude probe of a day),
+// and the site's latitude/tilt trigonometry is constant across a whole
+// trace. TrigEphemeris and PlateSite precompute exactly those terms —
+// each stored value is produced by the same math call on the same input
+// as the inline expression it replaces, and OutputTrig runs the identical
+// arithmetic in the identical order, so the hoisting is bit-transparent
+// (pinned by TestOutputTrigMatchesPlateOutputEph).
+
+// TrigEphemeris is an Ephemeris plus the sine and cosine of the
+// declination — the only per-instant trigonometry PositionEph computes
+// that does not depend on the observer's location.
+type TrigEphemeris struct {
+	Ephemeris
+	SinDecl, CosDecl float64
+}
+
+// Trig extends an Ephemeris with its declination trigonometry.
+func (e Ephemeris) Trig() TrigEphemeris {
+	return TrigEphemeris{Ephemeris: e, SinDecl: math.Sin(e.DeclRad), CosDecl: math.Cos(e.DeclRad)}
+}
+
+// PlateSite carries one site's constant terms for the flat-plate model:
+// geometry angles and every trig value that depends only on them.
+type PlateSite struct {
+	LonDeg      float64
+	AzimuthDeg  float64
+	DiffuseFrac float64
+
+	sinLat, cosLat   float64
+	cosTilt, sinTilt float64
+	skyView          float64
+}
+
+// NewPlateSite precomputes the site constants for latDeg/lonDeg and a
+// panel at tiltDeg/azimuthDeg with the given diffuse fraction.
+func NewPlateSite(latDeg, lonDeg, tiltDeg, azimuthDeg, diffuseFrac float64) PlateSite {
+	lat := latDeg * degToRad
+	return PlateSite{
+		LonDeg:      lonDeg,
+		AzimuthDeg:  azimuthDeg,
+		DiffuseFrac: diffuseFrac,
+		sinLat:      math.Sin(lat),
+		cosLat:      math.Cos(lat),
+		cosTilt:     math.Cos(tiltDeg * degToRad),
+		sinTilt:     math.Sin(tiltDeg * degToRad),
+		skyView:     (1 + math.Cos(tiltDeg*degToRad)) / 2,
+	}
+}
+
+// HourAngle holds one instant's solar-time terms at a fixed longitude —
+// the last piece of PositionEph that depends on the instant but not on the
+// observer's latitude or the panel geometry. A latitude sweep over a fixed
+// day grid can therefore share one HourAngle table across every probe.
+type HourAngle struct {
+	HaDeg, CosHA float64
+}
+
+// HourAngleAt computes the instant's hour angle at lonDeg, with the same
+// expressions PositionEph uses inline.
+func HourAngleAt(t time.Time, te TrigEphemeris, lonDeg float64) HourAngle {
+	offset := te.EqMin + 4*lonDeg
+	tst := float64(t.Hour())*60 + float64(t.Minute()) + float64(t.Second())/60 + offset
+	haDeg := tst/4 - 180
+	return HourAngle{HaDeg: haDeg, CosHA: math.Cos(haDeg * degToRad)}
+}
+
+// OutputTrig is PlateOutputEph with the declination and site trigonometry
+// precomputed. Expression for expression it mirrors PositionEph,
+// ghiFromZenith, and PlateOutputEph — including the left-to-right
+// grouping of every product and the clamp order — so its result is
+// bit-identical to the unhoisted chain. The one structural change is
+// computing math.Cos(zen*degToRad) once where the originals evaluate the
+// same expression three times; identical expression, identical bits.
+func (s *PlateSite) OutputTrig(t time.Time, te TrigEphemeris) float64 {
+	return s.OutputTrigHA(te, HourAngleAt(t, te, s.LonDeg))
+}
+
+// OutputTrigHA is OutputTrig with the hour-angle terms precomputed as well;
+// h must come from HourAngleAt at this site's longitude.
+func (s *PlateSite) OutputTrigHA(te TrigEphemeris, h HourAngle) float64 {
+	// PositionEph body, with Sin/Cos of declination and latitude hoisted.
+	haDeg := h.HaDeg
+
+	cosZen := s.sinLat*te.SinDecl + s.cosLat*te.CosDecl*h.CosHA
+	cosZen = math.Max(-1, math.Min(1, cosZen))
+	zenRad := math.Acos(cosZen)
+	zen := zenRad * radToDeg
+
+	// PlateOutputEph's night early-out, hoisted above the azimuth solve:
+	// the azimuth feeds only the beam incidence term, which the original
+	// never reaches when zen >= 90, so skipping it cannot change the
+	// result. Below the horizon is half of all samples, so this skips
+	// Sin+Acos for the bulk of a day sweep.
+	if zen >= 90 {
+		return 0
+	}
+
+	sinZen := math.Sin(zenRad)
+	var az float64
+	if sinZen > 1e-9 {
+		cosAz := (te.SinDecl - s.sinLat*cosZen) / (s.cosLat * sinZen)
+		cosAz = math.Max(-1, math.Min(1, cosAz))
+		az = math.Acos(cosAz) * radToDeg
+		if haDeg > 0 {
+			az = 360 - az
+		}
+	}
+	czd := math.Cos(zen * degToRad)
+	airMass := 1 / (czd + 0.50572*math.Pow(96.07995-zen, -1.6364))
+	ghi := 1353 * math.Pow(0.7, math.Pow(airMass, 0.678)) * czd
+	if ghi <= 0 {
+		return 0
+	}
+	dhi := s.DiffuseFrac * ghi
+	beamH := ghi - dhi
+	cosZenClamped := math.Max(0.03, czd)
+	cosInc := czd*s.cosTilt +
+		math.Sin(zen*degToRad)*s.sinTilt*
+			math.Cos((az-s.AzimuthDeg)*degToRad)
+	beamFactor := math.Min(3, math.Max(0, cosInc)/cosZenClamped)
+	return dhi*s.skyView + beamH*beamFactor
+}

@@ -92,11 +92,37 @@ func RiseSet(date time.Time, latDeg, lonDeg float64) (DayTimes, error) {
 	return out, nil
 }
 
+// Ephemeris caches the location-independent solar terms of one instant: the
+// equation of time (minutes) and the declination (radians). Position,
+// ClearSkyGHI, and PlateOutput derive everything else from these two numbers
+// plus the coordinates, so sweeps that evaluate many candidate locations at
+// the same instants — SunSpot's latitude grid, the solar fleet — can hoist
+// the trigonometry out of the location loop. The *Eph variants below accept
+// a precomputed Ephemeris and run the identical arithmetic in the identical
+// order, so hoisting is bit-transparent.
+type Ephemeris struct {
+	// EqMin is the equation of time in minutes.
+	EqMin float64
+	// DeclRad is the solar declination in radians.
+	DeclRad float64
+}
+
+// EphemerisAt computes the instant's ephemeris terms exactly as Position
+// does internally.
+func EphemerisAt(t time.Time) Ephemeris {
+	return Ephemeris{EqMin: EquationOfTime(t), DeclRad: Declination(t) * degToRad}
+}
+
 // Position returns the solar zenith and azimuth angles (degrees) at a UTC
 // instant and location. Azimuth is measured clockwise from north.
 func Position(t time.Time, latDeg, lonDeg float64) (zenithDeg, azimuthDeg float64) {
-	eq := EquationOfTime(t)
-	decl := Declination(t) * degToRad
+	return PositionEph(t, EphemerisAt(t), latDeg, lonDeg)
+}
+
+// PositionEph is Position with the instant's ephemeris terms precomputed.
+func PositionEph(t time.Time, eph Ephemeris, latDeg, lonDeg float64) (zenithDeg, azimuthDeg float64) {
+	eq := eph.EqMin
+	decl := eph.DeclRad
 	lat := latDeg * degToRad
 
 	// True solar time in minutes.
@@ -129,12 +155,17 @@ func Position(t time.Time, latDeg, lonDeg float64) (zenithDeg, azimuthDeg float6
 // zero when the sun is below the horizon.
 func ClearSkyGHI(t time.Time, latDeg, lonDeg float64) float64 {
 	zen, _ := Position(t, latDeg, lonDeg)
+	return ghiFromZenith(zen)
+}
+
+// ghiFromZenith is the irradiance model given an already-computed zenith
+// angle: Kasten-Young air mass with the Meinel clear-sky transmittance,
+// GHI = 1353 * 0.7^(AM^0.678) * cos(zenith).
+func ghiFromZenith(zen float64) float64 {
 	if zen >= 90 {
 		return 0
 	}
 	cosZen := math.Cos(zen * degToRad)
-	// Kasten-Young air mass with the Meinel clear-sky transmittance:
-	// GHI = 1353 * 0.7^(AM^0.678) * cos(zenith).
 	airMass := 1 / (cosZen + 0.50572*math.Pow(96.07995-zen, -1.6364))
 	return 1353 * math.Pow(0.7, math.Pow(airMass, 0.678)) * cosZen
 }
@@ -236,11 +267,20 @@ func bisectLat(f func(float64) float64, lo, hi float64) float64 {
 // incidence geometry. Both the PV simulator and the solar attacks
 // (SunSpot's forward model, SunDance's generation model) build on this.
 func PlateOutput(t time.Time, latDeg, lonDeg, tiltDeg, azimuthDeg, diffuseFrac float64) float64 {
-	zen, az := Position(t, latDeg, lonDeg)
+	return PlateOutputEph(t, EphemerisAt(t), latDeg, lonDeg, tiltDeg, azimuthDeg, diffuseFrac)
+}
+
+// PlateOutputEph is PlateOutput with the instant's ephemeris terms
+// precomputed. The zenith is computed once and feeds both the irradiance
+// model and the incidence geometry (PlateOutput formerly solved the solar
+// position twice, once directly and once inside ClearSkyGHI; the two calls
+// were bit-identical, so sharing the result is a pure speedup).
+func PlateOutputEph(t time.Time, eph Ephemeris, latDeg, lonDeg, tiltDeg, azimuthDeg, diffuseFrac float64) float64 {
+	zen, az := PositionEph(t, eph, latDeg, lonDeg)
 	if zen >= 90 {
 		return 0
 	}
-	ghi := ClearSkyGHI(t, latDeg, lonDeg)
+	ghi := ghiFromZenith(zen)
 	if ghi <= 0 {
 		return 0
 	}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -346,18 +347,31 @@ func (s *Series) MovingAverage(width int) *Series {
 	if len(s.Values) == 0 {
 		return out
 	}
-	// Prefix sums for O(n) windows.
-	prefix := make([]float64, len(s.Values)+1)
+	// Prefix sums for O(n) windows. The prefix row is pure scratch — it
+	// never escapes — so it comes from the package pool rather than a fresh
+	// allocation per call (smoothing runs once per simulated appliance day).
+	bp := scratchFloats.Get().(*[]float64)
+	prefix := (*bp)[:0]
+	if cap(prefix) < len(s.Values)+1 {
+		prefix = make([]float64, 0, len(s.Values)+1)
+	}
+	prefix = append(prefix, 0)
 	for i, v := range s.Values {
-		prefix[i+1] = prefix[i] + v
+		prefix = append(prefix, prefix[i]+v)
 	}
 	for i := range s.Values {
 		lo := max(0, i-half)
 		hi := min(len(s.Values), i+half+1)
 		out.Values[i] = (prefix[hi] - prefix[lo]) / float64(hi-lo)
 	}
+	*bp = prefix
+	scratchFloats.Put(bp)
 	return out
 }
+
+// scratchFloats pools float64 scratch rows shared by the package's
+// temporary-buffer users (MovingAverage prefix sums, DetectEdges medians).
+var scratchFloats = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
 
 // String implements fmt.Stringer with a compact summary.
 func (s *Series) String() string {

@@ -108,28 +108,34 @@ func (s *Series) DetectEdges(threshold float64, pad int) []Edge {
 	}
 	var edges []Edge
 	n := len(s.Values)
+	// One pooled scratch row serves every median in the scan; the old
+	// per-candidate copy allocated twice per threshold crossing.
+	bp := scratchFloats.Get().(*[]float64)
 	for i := 1; i < n; i++ {
 		d := s.Values[i] - s.Values[i-1]
 		if math.Abs(d) < threshold {
 			continue
 		}
-		before := medianOf(s.Values[max(0, i-pad):i])
-		after := medianOf(s.Values[i:min(n, i+pad)])
+		before := medianOf(s.Values[max(0, i-pad):i], bp)
+		after := medianOf(s.Values[i:min(n, i+pad)], bp)
 		delta := after - before
 		if math.Abs(delta) < threshold {
 			continue
 		}
 		edges = append(edges, Edge{Index: i, Time: s.TimeAt(i), Delta: delta})
 	}
+	scratchFloats.Put(bp)
 	return edges
 }
 
-func medianOf(vals []float64) float64 {
+// medianOf computes the median of vals using *scratch as working space,
+// growing it as needed.
+func medianOf(vals []float64, scratch *[]float64) float64 {
 	if len(vals) == 0 {
 		return 0
 	}
-	tmp := make([]float64, len(vals))
-	copy(tmp, vals)
+	tmp := append((*scratch)[:0], vals...)
+	*scratch = tmp
 	// Insertion sort: pads are tiny.
 	for i := 1; i < len(tmp); i++ {
 		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {

@@ -109,7 +109,7 @@ func TestMedianOf(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if got := medianOf(tt.in); got != tt.want {
+			if got := medianOf(tt.in, &[]float64{}); got != tt.want {
 				t.Errorf("medianOf(%v) = %v, want %v", tt.in, got, tt.want)
 			}
 		})
