@@ -9,7 +9,7 @@ GO ?= go
 
 # Packages whose statement coverage must stay at or above COVER_FLOOR.
 COVER_FLOOR ?= 70
-COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve ./cmd/benchjson ./internal/attack/fingerprint ./internal/defense/stp ./internal/fleet ./internal/hmm
+COVER_PKGS ?= ./internal/timeseries ./internal/meter ./internal/serve ./cmd/benchjson ./internal/attack/fingerprint ./internal/defense/stp ./internal/fleet ./internal/hmm ./internal/analysis
 
 # Second coverage tier: the daemon/load-generator mains are signal/listen
 # plumbing that only an end-to-end run exercises, so they carry a lower
@@ -22,20 +22,42 @@ COVER_PKGS_CMD ?= ./cmd/memoird ./cmd/memoirload
 # longer local hunt, e.g. `make fuzz FUZZTIME=10m`.
 FUZZTIME ?= 30s
 
-.PHONY: check vet lint build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-armsrace bench-fleet bench-diff bench-all bench-load figures smoke smoke-load smoke-fleet memoird
+.PHONY: check vet lint lint-diff lint-stats build test race short cover cover-cmd fuzz bench bench-serve bench-experiments bench-armsrace bench-fleet bench-diff bench-all bench-load figures smoke smoke-load smoke-fleet memoird
 
-check: vet lint build race cover fuzz smoke smoke-load smoke-fleet bench-diff
+check: vet lint lint-diff build race cover fuzz smoke smoke-load smoke-fleet bench-diff
 
 vet:
 	$(GO) vet ./...
 
+# The analyzer binary is built once and reused: `go run` re-links on every
+# invocation, which dominated lint wall-time. The target rebuilds only when
+# an analyzer source file changes.
+PRIVMEMVET_SRC := $(shell find cmd/privmemvet internal/analysis -name '*.go' -not -path '*/testdata/*') go.mod
+bin/privmemvet: $(PRIVMEMVET_SRC)
+	$(GO) build -o $@ ./cmd/privmemvet
+
 # lint runs the repository's own analyzer suite (internal/analysis via
-# cmd/privmemvet): determinism (detrand, maporder), seeding discipline
-# (seedflow), lock scope (mutexscope), error paths (errpath), and discarded
-# pure results (purecall). A finding fails the gate unless the line carries
-# a reasoned `//lint:allow <analyzer> <reason>` — see DESIGN.md §8.
-lint:
-	$(GO) run ./cmd/privmemvet ./...
+# cmd/privmemvet): determinism (detrand, maporder, the interprocedural
+# deterministic certifier), seeding discipline (seedflow), lock scope
+# (mutexscope), error paths (errpath), discarded pure results (purecall),
+# and the concurrency checks (poolescape, atomicmix, floatorder). A finding
+# fails the gate unless the line carries a reasoned `//lint:allow <analyzer>
+# <reason>` (or, for a whole intentionally-impure subtree, `//lint:trust
+# <func> <reason>` in its doc comment) — see DESIGN.md §8 and §13.
+lint: bin/privmemvet
+	./bin/privmemvet ./...
+
+# lint-diff fails only on findings not recorded in LINT_BASELINE.json, so a
+# branch that inherits a known finding still gates on anything NEW.
+# Regenerate the baseline with: ./bin/privmemvet -json ./... > LINT_BASELINE.json
+lint-diff: bin/privmemvet
+	./bin/privmemvet -baseline LINT_BASELINE.json ./...
+
+# lint-stats snapshots per-analyzer finding counts and wall-time as the
+# BENCH_lint.json trajectory, so analyzer cost is tracked like every other
+# perf surface.
+lint-stats: bin/privmemvet
+	./bin/privmemvet -stats ./... | $(GO) run ./cmd/benchjson > BENCH_lint.json
 
 build:
 	$(GO) build ./...

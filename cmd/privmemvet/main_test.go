@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -17,7 +20,7 @@ func TestScratchFixtureFiresEveryAnalyzer(t *testing.T) {
 		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
 	}
 	out := stdout.String()
-	for _, name := range []string{"detrand", "seedflow", "maporder", "mutexscope", "errpath", "purecall"} {
+	for _, name := range []string{"detrand", "seedflow", "maporder", "mutexscope", "errpath", "purecall", "poolescape", "atomicmix", "floatorder"} {
 		if got := strings.Count(out, fmt.Sprintf(": %s: ", name)); got != 1 {
 			t.Errorf("%s fired %d time(s) on the scratch fixture, want exactly 1\n%s", name, got, out)
 		}
@@ -29,7 +32,7 @@ func TestListPrintsInventory(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit = %d, stderr: %s", code, stderr.String())
 	}
-	for _, name := range []string{"detrand", "seedflow", "maporder", "mutexscope", "errpath", "purecall"} {
+	for _, name := range []string{"detrand", "seedflow", "maporder", "mutexscope", "errpath", "purecall", "poolescape", "atomicmix", "floatorder"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}
@@ -60,5 +63,65 @@ func TestScopePredicates(t *testing.T) {
 		if got := c.fn(c.path); got != c.want {
 			t.Errorf("scope(%s) = %v, want %v", c.path, got, c.want)
 		}
+	}
+}
+
+// The scratch fixture drives the structured-output modes: -json must carry
+// every finding with analyzer and file, -baseline must silence exactly the
+// findings recorded in the baseline and fail on anything new, and -stats
+// must emit benchjson-parseable lines.
+func TestJSONBaselineAndStats(t *testing.T) {
+	scratch := "../../internal/analysis/testdata/scratch/scratch.go"
+
+	var jsonOut, stderr bytes.Buffer
+	if code := run([]string{"-json", scratch}, &jsonOut, &stderr); code != 1 {
+		t.Fatalf("-json exit = %d, want 1 (scratch has findings)\n%s", code, stderr.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(jsonOut.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, jsonOut.String())
+	}
+	if len(diags) != 9 {
+		t.Errorf("-json carries %d findings, want 9 (one per analyzer)", len(diags))
+	}
+
+	// A baseline recording the scratch findings makes the same run pass...
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(baseline, jsonOut.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	stderr.Reset()
+	if code := run([]string{"-baseline", baseline, scratch}, &out, &stderr); code != 0 {
+		t.Errorf("-baseline with own findings exit = %d, want 0\n%s%s", code, out.String(), stderr.String())
+	}
+
+	// ...while an empty baseline fails on every finding as new.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", empty, scratch}, &out, &stderr); code != 1 {
+		t.Errorf("-baseline with empty baseline exit = %d, want 1", code)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 9 {
+		t.Errorf("empty-baseline diff printed %d new findings, want 9\n%s", got, out.String())
+	}
+
+	var statsOut bytes.Buffer
+	if code := run([]string{"-stats", scratch}, &statsOut, &stderr); code != 0 {
+		t.Fatalf("-stats exit = %d\n%s", code, stderr.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(statsOut.String()), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 8 || !strings.HasPrefix(fields[0], "BenchmarkLint/") ||
+			fields[3] != "ns/op" || fields[5] != "findings" || fields[7] != "suppressed" {
+			t.Errorf("-stats line not benchjson-shaped: %q", line)
+		}
+	}
+	if !strings.Contains(statsOut.String(), "BenchmarkLint/total ") {
+		t.Errorf("-stats missing the total line:\n%s", statsOut.String())
 	}
 }

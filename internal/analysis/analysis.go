@@ -5,12 +5,15 @@
 // shape — Analyzer values with a Run(*Pass) hook reporting position-tagged
 // diagnostics — plus the repo-specific pieces: a go-list-backed module
 // loader (load.go), the //lint:allow suppression contract (suppress.go),
-// and an analysistest-style fixture harness (antest).
+// an analysistest-style fixture harness (antest), and the summary-based
+// interprocedural engine (callgraph.go, summary.go, certify.go) behind the
+// deterministic certifier.
 //
-// The analyzers themselves live in subpackages (detrand, seedflow,
-// maporder, mutexscope, errpath, purecall) and are wired into the
-// cmd/privmemvet multichecker; DESIGN.md §8 documents each analyzer's
-// contract and the suppression policy.
+// The intraprocedural analyzers live in subpackages (detrand, seedflow,
+// maporder, mutexscope, errpath, purecall, poolescape, atomicmix,
+// floatorder) and are wired into the cmd/privmemvet multichecker together
+// with the module-level certifier (internal/analysis/determ); DESIGN.md §8
+// and §13 document each analyzer's contract and the suppression policy.
 package analysis
 
 import (
@@ -19,6 +22,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer is one static check. Run inspects a single type-checked package
@@ -49,6 +53,12 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks a finding silenced by a well-formed //lint:allow
+	// directive; Reason carries the directive's written justification.
+	// RunAnalyzers drops suppressed findings; RunAnalyzersDetailed keeps
+	// them so structured output can expose the full allow inventory.
+	Suppressed bool
+	Reason     string
 }
 
 // String renders the diagnostic in the canonical file:line:col form.
@@ -71,7 +81,27 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // analyzer name) are themselves reported. Diagnostics are sorted by
 // position so output is stable across runs.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, _, err := RunAnalyzersDetailed(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunAnalyzersDetailed is RunAnalyzers without the suppression filter:
+// suppressed findings are returned too, marked Suppressed with their allow
+// reason attached. The second result maps each analyzer name (plus the
+// "lintallow" pseudo-analyzer, at zero cost) to its cumulative run time in
+// this package — the raw material for `privmemvet -stats`.
+func RunAnalyzersDetailed(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration, error) {
 	var diags []Diagnostic
+	timings := make(map[string]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -81,12 +111,22 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			TypesInfo: pkg.Info,
 			diags:     &diags,
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+		start := time.Now()
+		err := a.Run(pass)
+		timings[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
 	sup := collectSuppressions(pkg.Fset, pkg.Files)
-	diags = sup.filter(diags)
+	diags = sup.annotate(diags)
+	SortDiagnostics(diags)
+	return diags, timings, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, then analyzer
+// name, so output is stable across runs and across concurrent analysis.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -100,5 +140,4 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }

@@ -1,0 +1,130 @@
+// Package atomicmix flags variables and struct fields that are accessed
+// both through sync/atomic package functions and through plain loads or
+// stores in the same package. Mixing the two is the classic half-migrated
+// counter bug: the atomic side establishes that the location is shared
+// across goroutines, so every plain access is a data race whose reads can
+// be stale and whose writes can be lost — and unlike typed atomics
+// (atomic.Int64), nothing in the type system stops it. The metrics
+// histograms and serve counters motivated the check; the durable fix is
+// migrating the field to a typed atomic, which this analyzer cannot be
+// fooled by.
+//
+// Scope is one package (all files of the pass): the atomic access set is
+// collected first, then every plain use of a marked location is reported.
+// Initialization via composite literals is not flagged — a literal runs
+// before the value is shared.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"privmem/internal/analysis"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag locations accessed both via sync/atomic and plain loads/stores",
+	Run:  run,
+}
+
+// atomicOp reports whether name is a sync/atomic package-level operation
+// taking an address argument.
+func atomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1 over the whole package: locations used atomically, plus every
+	// identifier position that is part of an atomic access expression (the
+	// &x.f argument) or of a composite-literal key.
+	atomicObjs := map[types.Object]bool{}
+	partOfAtomic := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicOp(fn.Name()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // typed atomics (atomic.Int64 etc.) are the fix, not the bug
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			u, ok := arg.(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				return true
+			}
+			if obj := locationObj(info, u.X); obj != nil {
+				atomicObjs[obj] = true
+			}
+			ast.Inspect(u.X, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					partOfAtomic[id.Pos()] = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain accesses to the atomic set.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				for _, el := range lit.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							partOfAtomic[id.Pos()] = true
+						}
+					}
+				}
+				return true
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || partOfAtomic[id.Pos()] {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !atomicObjs[obj] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is accessed atomically elsewhere in this package but with a plain load/store here: reads may be stale and writes lost; use sync/atomic (or migrate to a typed atomic)", id.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// locationObj resolves the variable or field whose address is taken in an
+// atomic call argument.
+func locationObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	case *ast.IndexExpr:
+		return locationObj(info, x.X)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"privmem/internal/analysis/antest"
+	"privmem/internal/analysis/atomicmix"
+)
+
+func TestAtomicmixFixture(t *testing.T) {
+	antest.Run(t, "testdata/src/atomicmix", atomicmix.Analyzer)
+}

@@ -1,0 +1,46 @@
+// Fixture for the atomicmix analyzer: a field touched by both
+// sync/atomic functions and plain loads/stores is flagged at the plain
+// access; all-atomic fields, typed atomics, and composite-literal
+// initialization are clean.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	typed  atomic.Int64
+}
+
+var global int64
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counters) flaggedPlainRead() int64 {
+	return c.hits // want `hits is accessed atomically elsewhere`
+}
+
+func (c *counters) flaggedPlainWrite() {
+	c.misses = 0 // want `misses is accessed atomically elsewhere`
+}
+
+func (c *counters) cleanAtomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) cleanTyped() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+func flaggedGlobal() int64 {
+	atomic.AddInt64(&global, 1)
+	return global // want `global is accessed atomically elsewhere`
+}
+
+func cleanInit() *counters {
+	return &counters{hits: 0, misses: 0}
+}

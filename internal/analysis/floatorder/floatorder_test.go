@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"privmem/internal/analysis/antest"
+	"privmem/internal/analysis/floatorder"
+)
+
+func TestFloatorderFixture(t *testing.T) {
+	antest.Run(t, "testdata/src/floatorder", floatorder.Analyzer)
+}

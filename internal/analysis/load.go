@@ -121,6 +121,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 
 	ld := &loader{
 		fset:    token.NewFileSet(),
+		root:    root,
 		byPath:  byPath,
 		checked: map[string]*checkedPackage{},
 	}
@@ -187,6 +188,7 @@ type checkedPackage struct {
 
 type loader struct {
 	fset    *token.FileSet
+	root    string
 	byPath  map[string]*listedPackage
 	checked map[string]*checkedPackage
 	std     types.Importer
@@ -276,6 +278,27 @@ func (ld *loader) checkPath(lp *listedPackage) (*checkedPackage, error) {
 		}
 	}
 
+	// A test-only directory (nothing but _test.go files) lists with no
+	// GoFiles; synthesize an empty plain package so importers of the
+	// augmented variant and the universe walk both stay total.
+	if len(lp.GoFiles) == 0 {
+		name := lp.Name
+		if name == "" {
+			name = filepath.Base(lp.Dir)
+		}
+		tpkg := types.NewPackage(lp.ImportPath, name)
+		tpkg.MarkComplete()
+		cp.pkg = &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       ld.fset,
+			Types:      tpkg,
+			Info:       emptyInfo(),
+		}
+		cp.checking = false
+		return cp, nil
+	}
+
 	files, err := ld.parse(lp.Dir, lp.GoFiles)
 	if err != nil {
 		return nil, err
@@ -312,8 +335,8 @@ func (ld *loader) parse(dir string, names []string) ([]*ast.File, error) {
 	return files, nil
 }
 
-func (ld *loader) typecheck(path string, files []*ast.File) (*types.Package, *types.Info, error) {
-	info := &types.Info{
+func emptyInfo() *types.Info {
+	return &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Instances:  map[*ast.Ident]types.Instance{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -322,6 +345,10 @@ func (ld *loader) typecheck(path string, files []*ast.File) (*types.Package, *ty
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
+}
+
+func (ld *loader) typecheck(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := emptyInfo()
 	conf := types.Config{Importer: ld}
 	tpkg, err := conf.Check(path, ld.fset, files, info)
 	if err != nil {
@@ -353,8 +380,26 @@ func (ld *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types
 		}
 		return cp.pkg.Types, nil
 	}
+	var pkg *types.Package
+	var err error
 	if from, ok := ld.std.(types.ImporterFrom); ok {
-		return from.ImportFrom(path, srcDir, mode)
+		pkg, err = from.ImportFrom(path, srcDir, mode)
+	} else {
+		pkg, err = ld.std.Import(path)
 	}
-	return ld.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	// Not standard library and not matched by ./...: a vendored dependency.
+	// Resolve it through the go tool (which applies vendor mode) and check
+	// it like any other module package.
+	if lps, lerr := goList(ld.root, []string{path}); lerr == nil && len(lps) == 1 && !lps[0].Standard {
+		ld.byPath[path] = lps[0]
+		cp, cerr := ld.checkPath(lps[0])
+		if cerr != nil {
+			return nil, cerr
+		}
+		return cp.pkg.Types, nil
+	}
+	return nil, err
 }

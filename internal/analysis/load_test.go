@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module from path->content pairs and
+// returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func findPkg(pkgs []*Package, importPath string) *Package {
+	for _, p := range pkgs {
+		if p.ImportPath == importPath {
+			return p
+		}
+	}
+	return nil
+}
+
+// A module importing a vendored dependency must load: the dependency is
+// outside the ./... universe, so the importer has to fall back to the go
+// tool's vendor resolution.
+func TestLoadVendoredImport(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                        "module example.com/m\n\ngo 1.21\n\nrequire example.com/dep v1.0.0\n",
+		"vendor/modules.txt":            "# example.com/dep v1.0.0\n## explicit; go 1.21\nexample.com/dep\n",
+		"vendor/example.com/dep/dep.go": "package dep\n\nfunc Answer() int { return 42 }\n",
+		"use.go":                        "package m\n\nimport \"example.com/dep\"\n\nfunc Use() int { return dep.Answer() }\n",
+	})
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load with vendored dep: %v", err)
+	}
+	m := findPkg(pkgs, "example.com/m")
+	if m == nil {
+		t.Fatalf("example.com/m not loaded; got %d packages", len(pkgs))
+	}
+	if dep := m.Types.Imports(); len(dep) != 1 || dep[0].Path() != "example.com/dep" {
+		t.Errorf("m imports = %v, want [example.com/dep]", dep)
+	}
+}
+
+// A file excluded by its build tag must not reach the type checker: the
+// loader trusts go list's file selection, so an excluded file full of
+// violations is invisible to analysis (matching what the compiler builds).
+func TestLoadBuildTagFileExcluded(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":  "module example.com/tagged\n\ngo 1.21\n",
+		"main.go": "package tagged\n\nfunc Kept() int { return 1 }\n",
+		"extra.go": "//go:build neverenabled\n\npackage tagged\n\n" +
+			"func Dropped() int { return 2 }\n",
+	})
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load with build-tag file: %v", err)
+	}
+	p := findPkg(pkgs, "example.com/tagged")
+	if p == nil {
+		t.Fatal("example.com/tagged not loaded")
+	}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "extra.go") {
+			t.Errorf("build-tag-excluded file %s was parsed into the package", name)
+		}
+	}
+	if p.Types.Scope().Lookup("Kept") == nil {
+		t.Error("Kept missing from the package scope")
+	}
+	if p.Types.Scope().Lookup("Dropped") != nil {
+		t.Error("Dropped leaked into the package scope despite the build tag")
+	}
+}
+
+// A directory holding only _test.go files lists with no GoFiles; the
+// loader must synthesize the plain package and still analyze the
+// test-augmented variant.
+func TestLoadTestOnlyPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":     "module example.com/t\n\ngo 1.21\n",
+		"lib/lib.go": "package lib\n\nfunc Two() int { return 2 }\n",
+		"only/only_test.go": "package only\n\nimport (\n\t\"testing\"\n\n\t\"example.com/t/lib\"\n)\n\n" +
+			"func TestTwo(t *testing.T) {\n\tif lib.Two() != 2 {\n\t\tt.Fatal(\"no\")\n\t}\n}\n",
+	})
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load with test-only package: %v", err)
+	}
+	p := findPkg(pkgs, "example.com/t/only")
+	if p == nil {
+		t.Fatalf("test-only package not loaded; got %v", importPaths(pkgs))
+	}
+	if len(p.Files) != 1 {
+		t.Fatalf("test-only package has %d files, want 1 (the test file)", len(p.Files))
+	}
+	if p.Types.Scope().Lookup("TestTwo") == nil {
+		t.Error("TestTwo missing from the augmented package scope")
+	}
+}
+
+// Mixing file arguments with package patterns is an explicit error, and an
+// ad-hoc file loads as command-line-arguments with the full suite.
+func TestLoadArgumentModes(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/adhoc\n\ngo 1.21\n",
+		"f.go":   "package adhoc\n\nfunc F() int { return 3 }\n",
+	})
+	if _, err := Load(root, []string{"f.go", "./..."}); err == nil {
+		t.Error("mixed file + pattern arguments did not error")
+	}
+	pkgs, err := Load(root, []string{"f.go"})
+	if err != nil {
+		t.Fatalf("ad-hoc file load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "command-line-arguments" {
+		t.Errorf("ad-hoc load = %v, want the command-line-arguments package", importPaths(pkgs))
+	}
+}
+
+// An external-test package (package foo_test) comes back as its own
+// Package under the same import path.
+func TestLoadExternalTestPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/x\n\ngo 1.21\n",
+		"x.go":   "package x\n\nfunc X() int { return 4 }\n",
+		"x_ext_test.go": "package x_test\n\nimport (\n\t\"testing\"\n\n\t\"example.com/x\"\n)\n\n" +
+			"func TestX(t *testing.T) {\n\tif x.X() != 4 {\n\t\tt.Fatal(\"no\")\n\t}\n}\n",
+	})
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load with xtest: %v", err)
+	}
+	var plain, xtest bool
+	for _, p := range pkgs {
+		if p.ImportPath != "example.com/x" {
+			continue
+		}
+		if p.Types.Name() == "x" {
+			plain = true
+		}
+		if p.Types.Name() == "x_test" {
+			xtest = true
+		}
+	}
+	if !plain || !xtest {
+		t.Errorf("plain=%v xtest=%v, want both variants of example.com/x", plain, xtest)
+	}
+}
+
+func importPaths(pkgs []*Package) []string {
+	out := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = p.ImportPath
+	}
+	return out
+}

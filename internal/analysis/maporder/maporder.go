@@ -1,17 +1,10 @@
 // Package maporder flags `range` loops over maps whose bodies leak the
-// map's randomized iteration order into observable output. Go randomizes
-// map iteration per loop, so any of the following inside a map range is a
-// nondeterminism bug unless the order is laundered through a sort:
-//
-//   - appending to a slice declared outside the loop (flagged unless the
-//     slice is passed to a sort.* / slices.* call later in the same
-//     function — the collect-then-sort idiom);
-//   - writing to an output sink (fmt.Fprint*/Print*, or any Write* method:
-//     io.Writer, strings.Builder, bytes.Buffer, hash.Hash) — there is no
-//     after-the-fact sort for bytes already written;
-//   - accumulating floating-point values (sum += v): float addition is not
-//     associative, so the result's low bits depend on iteration order even
-//     though the set of addends is fixed.
+// map's randomized iteration order into observable output. The detection
+// itself — order-sensitive appends, output-sink writes, and float
+// accumulation inside a map range, with the collect-then-sort idiom
+// recognized — lives in analysis.CheckMapOrder, shared with the
+// interprocedural effect summaries; this package is the intraprocedural
+// analyzer wrapping it.
 //
 // This is the analyzer that protects Report rows, rendered tables, and
 // figures_output.txt from "mysterious one-line diffs three PRs later": the
@@ -21,8 +14,6 @@ package maporder
 
 import (
 	"go/ast"
-	"go/token"
-	"go/types"
 
 	"privmem/internal/analysis"
 )
@@ -49,173 +40,10 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			if body != nil {
-				checkFunc(pass, body)
+				analysis.CheckMapOrder(pass.TypesInfo, body, pass.Reportf)
 			}
 			return true
 		})
 	}
 	return nil
-}
-
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		rng, ok := n.(*ast.RangeStmt)
-		if !ok {
-			return true
-		}
-		tv, ok := pass.TypesInfo.Types[rng.X]
-		if !ok {
-			return true
-		}
-		if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
-			return true
-		}
-		checkMapRange(pass, body, rng)
-		return true
-	})
-}
-
-func checkMapRange(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
-	ast.Inspect(rng.Body, func(n ast.Node) bool {
-		switch stmt := n.(type) {
-		case *ast.CallExpr:
-			if sinkCall(pass.TypesInfo, stmt) {
-				pass.Reportf(stmt.Pos(),
-					"write inside range over map %s happens in randomized iteration order; collect and sort keys first", exprString(rng.X))
-			}
-		case *ast.AssignStmt:
-			checkAssign(pass, fnBody, rng, stmt)
-		}
-		return true
-	})
-}
-
-func checkAssign(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
-	// Float accumulation: x += v, x -= v, or x = x + v.
-	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN || as.Tok == token.MUL_ASSIGN {
-		if len(as.Lhs) == 1 && isOuterFloatVar(pass, rng, as.Lhs[0]) {
-			pass.Reportf(as.Pos(),
-				"floating-point accumulation into %s in map-iteration order: float addition is not associative, so the result's bits depend on the (randomized) order; iterate sorted keys", exprString(as.Lhs[0]))
-			return
-		}
-	}
-	// Appends: x = append(x, ...) with x declared outside the loop.
-	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
-		return
-	}
-	for i, rhs := range as.Rhs {
-		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-		if !ok || len(as.Lhs) <= i {
-			continue
-		}
-		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-		if !ok || id.Name != "append" {
-			continue
-		}
-		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
-			continue // shadowed append, not the builtin
-		}
-		obj := exprObject(pass.TypesInfo, as.Lhs[i])
-		if obj == nil || obj.Pos() >= rng.Pos() {
-			continue // loop-local slice: order can still be laundered by the consumer in scope
-		}
-		if sortedAfter(pass, fnBody, rng, obj) {
-			continue
-		}
-		pass.Reportf(as.Pos(),
-			"append to %s in map-iteration order with no later sort in this function: the slice's element order is randomized per run", obj.Name())
-	}
-}
-
-// sinkCall reports whether call writes to an output sink: fmt print
-// functions or any Write* method (io.Writer, strings.Builder, bytes.Buffer,
-// hash.Hash — bytes written in map order cannot be re-sorted).
-func sinkCall(info *types.Info, call *ast.CallExpr) bool {
-	fn := analysis.Callee(info, call)
-	if fn == nil {
-		return false
-	}
-	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		switch fn.Name() {
-		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
-			return true
-		}
-	}
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		name := fn.Name()
-		if name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune" {
-			return true
-		}
-	}
-	return false
-}
-
-// sortedAfter reports whether obj is passed to a sort.*/slices.* call
-// positioned after the range loop in the enclosing function body.
-func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
-	found := false
-	ast.Inspect(fnBody, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < rng.End() {
-			return true
-		}
-		fn := analysis.Callee(pass.TypesInfo, call)
-		if fn == nil || fn.Pkg() == nil {
-			return true
-		}
-		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
-			return true
-		}
-		for _, arg := range call.Args {
-			ast.Inspect(arg, func(a ast.Node) bool {
-				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
-					found = true
-				}
-				return !found
-			})
-		}
-		return !found
-	})
-	return found
-}
-
-// exprObject resolves the variable a simple lvalue refers to.
-func exprObject(info *types.Info, e ast.Expr) types.Object {
-	switch x := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		if obj := info.Uses[x]; obj != nil {
-			return obj
-		}
-		return info.Defs[x]
-	case *ast.SelectorExpr:
-		return info.Uses[x.Sel]
-	}
-	return nil
-}
-
-// isOuterFloatVar reports whether e is a float variable declared before the
-// range loop.
-func isOuterFloatVar(pass *analysis.Pass, rng *ast.RangeStmt, e ast.Expr) bool {
-	obj := exprObject(pass.TypesInfo, e)
-	if obj == nil || obj.Pos() >= rng.Pos() {
-		return false
-	}
-	basic, ok := types.Unalias(obj.Type()).Underlying().(*types.Basic)
-	return ok && basic.Info()&types.IsFloat != 0
-}
-
-func exprString(e ast.Expr) string {
-	switch x := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		return x.Name
-	case *ast.SelectorExpr:
-		return exprString(x.X) + "." + x.Sel.Name
-	case *ast.CallExpr:
-		return exprString(x.Fun) + "(...)"
-	default:
-		return "map"
-	}
 }

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Map-iteration-order detection, shared between the intraprocedural
+// maporder analyzer and the interprocedural effect summaries (summary.go).
+// Go randomizes map iteration per loop, so any of the following inside a
+// map range leaks the randomized order into observable output unless it is
+// laundered through a sort:
+//
+//   - appending to a slice declared outside the loop (recognized unless the
+//     slice is passed to a sort.* / slices.* call later in the same
+//     function — the collect-then-sort idiom);
+//   - writing to an output sink (fmt.Fprint*/Print*, or any Write* method:
+//     io.Writer, strings.Builder, bytes.Buffer, hash.Hash) — there is no
+//     after-the-fact sort for bytes already written;
+//   - accumulating floating-point values (sum += v): float addition is not
+//     associative, so the result's low bits depend on iteration order even
+//     though the set of addends is fixed.
+
+// CheckMapOrder reports every order-sensitive map range inside fnBody via
+// report. The "later sort" search space for the collect-then-sort idiom is
+// fnBody itself, so callers pass the body of the function (or function
+// literal) being analyzed.
+func CheckMapOrder(info *types.Info, fnBody *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(info, fnBody, rng, report)
+		return true
+	})
+}
+
+func checkMapRange(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.CallExpr:
+			if sinkCall(info, stmt) {
+				report(stmt.Pos(),
+					"write inside range over map %s happens in randomized iteration order; collect and sort keys first", exprString(rng.X))
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(info, fnBody, rng, stmt, report)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt, report func(pos token.Pos, format string, args ...any)) {
+	// Float accumulation: x += v, x -= v, or x = x + v.
+	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN || as.Tok == token.MUL_ASSIGN {
+		if len(as.Lhs) == 1 && isOuterFloatVar(info, rng, as.Lhs[0]) {
+			report(as.Pos(),
+				"floating-point accumulation into %s in map-iteration order: float addition is not associative, so the result's bits depend on the (randomized) order; iterate sorted keys", exprString(as.Lhs[0]))
+			return
+		}
+	}
+	// Appends: x = append(x, ...) with x declared outside the loop.
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(as.Lhs) <= i {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			continue // shadowed append, not the builtin
+		}
+		obj := exprObject(info, as.Lhs[i])
+		if obj == nil || obj.Pos() >= rng.Pos() {
+			continue // loop-local slice: order can still be laundered by the consumer in scope
+		}
+		if sortedAfter(info, fnBody, rng, obj) {
+			continue
+		}
+		report(as.Pos(),
+			"append to %s in map-iteration order with no later sort in this function: the slice's element order is randomized per run", obj.Name())
+	}
+}
+
+// sinkCall reports whether call writes to an output sink: fmt print
+// functions or any Write* method (io.Writer, strings.Builder, bytes.Buffer,
+// hash.Hash — bytes written in map order cannot be re-sorted).
+func sinkCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := Callee(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		name := fn.Name()
+		if name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune" {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.* call
+// positioned after the range loop in the enclosing function body.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := Callee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// exprObject resolves the variable a simple lvalue refers to.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return obj
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// isOuterFloatVar reports whether e is a float variable declared before the
+// range loop.
+func isOuterFloatVar(info *types.Info, rng *ast.RangeStmt, e ast.Expr) bool {
+	obj := exprObject(info, e)
+	if obj == nil || obj.Pos() >= rng.Pos() {
+		return false
+	}
+	basic, ok := types.Unalias(obj.Type()).Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	default:
+		return "map"
+	}
+}

@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"privmem/internal/analysis/antest"
+	"privmem/internal/analysis/poolescape"
+)
+
+func TestPoolescapeFixture(t *testing.T) {
+	antest.Run(t, "testdata/src/poolescape", poolescape.Analyzer)
+}

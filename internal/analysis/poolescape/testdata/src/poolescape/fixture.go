@@ -1,0 +1,60 @@
+// Fixture for the poolescape analyzer: pooled values returned, stored in
+// package-level state, or used after Put are flagged; the borrow-use-Put
+// discipline, deferred Puts, and copying contents out before Put are clean.
+package poolescape
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+var stash *bytes.Buffer
+
+func flaggedReturn() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b // want `pooled value b escapes via return`
+}
+
+func flaggedUseAfterPut() int {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	b.WriteString("x")
+	n := b.Len()
+	bufPool.Put(b)
+	return n + b.Len() // want `use of pooled value b after Put`
+}
+
+func flaggedGlobalStore() {
+	b := bufPool.Get().(*bytes.Buffer)
+	stash = b // want `pooled value b stored in package-level stash`
+	bufPool.Put(b)
+}
+
+func cleanBorrow() int {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	b.WriteString("ok")
+	n := b.Len()
+	bufPool.Put(b)
+	return n
+}
+
+func cleanDeferredPut() string {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.Reset()
+	b.WriteString("ok")
+	return b.String()
+}
+
+func cleanCopyOut() []byte {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	b.WriteString("ok")
+	out := append([]byte(nil), b.Bytes()...)
+	bufPool.Put(b)
+	return out
+}

@@ -15,20 +15,21 @@ import (
 // suppression, it is a new diagnostic — the whole point of the escape hatch
 // is that every accepted violation carries a written justification a
 // reviewer can audit (DESIGN.md §8).
+//
+// The interprocedural certifier (certify.go) adds a second directive for
+// whole functions rather than single lines:
+//
+//	//lint:trust <func> <reason>
+//
+// placed in the doc comment of the function it names; see summary.go.
 
 const allowPrefix = "//lint:allow"
 
-type suppression struct {
-	file     string
-	line     int // line the comment sits on
-	analyzer string
-	reason   string
-}
-
 type suppressionSet struct {
-	// byKey indexes well-formed suppressions by file:line:analyzer for both
-	// the comment's own line and the line below it.
-	byKey map[string]bool
+	// reasons indexes well-formed suppressions by file:line:analyzer for
+	// both the comment's own line and the line below it, mapping to the
+	// written reason.
+	reasons map[string]string
 	// malformed holds allow comments with no reason or no analyzer name;
 	// they are re-reported as findings.
 	malformed []Diagnostic
@@ -58,7 +59,7 @@ func suppressionKey(file string, line int, analyzer string) string {
 // collectSuppressions scans every comment in files for //lint:allow
 // directives.
 func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
-	set := &suppressionSet{byKey: map[string]bool{}}
+	set := &suppressionSet{reasons: map[string]string{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -80,23 +81,29 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet
 				}
 				// The directive covers findings on its own line (trailing
 				// comment) and on the next line (comment above).
-				set.byKey[suppressionKey(pos.Filename, pos.Line, name)] = true
-				set.byKey[suppressionKey(pos.Filename, pos.Line+1, name)] = true
+				set.reasons[suppressionKey(pos.Filename, pos.Line, name)] = reason
+				set.reasons[suppressionKey(pos.Filename, pos.Line+1, name)] = reason
 			}
 		}
 	}
 	return set
 }
 
-// filter drops suppressed diagnostics and appends the malformed-allow
-// findings.
-func (s *suppressionSet) filter(diags []Diagnostic) []Diagnostic {
-	kept := diags[:0]
-	for _, d := range diags {
-		if s.byKey[suppressionKey(d.Pos.Filename, d.Pos.Line, d.Analyzer)] {
-			continue
+// allowed returns the written reason suppressing analyzer findings at
+// file:line, if any.
+func (s *suppressionSet) allowed(file string, line int, analyzer string) (string, bool) {
+	reason, ok := s.reasons[suppressionKey(file, line, analyzer)]
+	return reason, ok
+}
+
+// annotate marks suppressed diagnostics (keeping them, with the allow
+// reason attached) and appends the malformed-allow findings.
+func (s *suppressionSet) annotate(diags []Diagnostic) []Diagnostic {
+	for i := range diags {
+		if reason, ok := s.allowed(diags[i].Pos.Filename, diags[i].Pos.Line, diags[i].Analyzer); ok {
+			diags[i].Suppressed = true
+			diags[i].Reason = reason
 		}
-		kept = append(kept, d)
 	}
-	return append(kept, s.malformed...)
+	return append(diags, s.malformed...)
 }

@@ -37,7 +37,13 @@ func g() {}
 			Message:  "finding",
 		}
 	}
-	out := set.filter([]Diagnostic{fake(4), fake(6), fake(7), fake(8)})
+	annotated := set.annotate([]Diagnostic{fake(4), fake(6), fake(7), fake(8)})
+	var out []Diagnostic
+	for _, d := range annotated {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
 
 	byLine := map[int]string{}
 	for _, d := range out {

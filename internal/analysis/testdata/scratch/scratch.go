@@ -12,6 +12,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"privmem/internal/timeseries"
@@ -49,4 +50,29 @@ func errpathViolation(w io.Writer) {
 // purecall: a pure timeseries method called for nothing.
 func purecallViolation(s *timeseries.Series) {
 	s.Sum()
+}
+
+var scratchPool sync.Pool
+
+// poolescape: the pooled value leaks out of the Get/Put window.
+func poolescapeViolation() any {
+	v := scratchPool.Get()
+	return v
+}
+
+var scratchCounter int64
+
+// atomicmix: the counter is atomic in one place and plain in another.
+func atomicmixViolation() int64 {
+	atomic.AddInt64(&scratchCounter, 1)
+	return scratchCounter
+}
+
+// floatorder: channel-arrival-order float accumulation.
+func floatorderViolation(parts chan float64) float64 {
+	var total float64
+	for p := range parts {
+		total += p
+	}
+	return total
 }

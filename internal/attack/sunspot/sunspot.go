@@ -251,6 +251,8 @@ func modelWindowCacheLen() int {
 // days. Results are memoized: the latitude search re-evaluates the same
 // (day, grid-latitude, tilt) triples for every site, and repeated runs over
 // the same season hit a warm cache.
+//
+//lint:trust modelWindowLen RWMutex-guarded pure-function memo: the cached value is a deterministic function of the key, so hit/miss order cannot change any result
 func modelWindowLen(date time.Time, lat, tilt, thresholdFrac float64) (minutes float64, ok bool) {
 	day := time.Date(date.Year(), date.Month(), date.Day(), 0, 0, 0, 0, time.UTC)
 	k := windowKey{day: day.Unix(), lat: lat, tilt: tilt, thr: thresholdFrac}

@@ -92,6 +92,8 @@ func memoKey(builder string, opts Options) string {
 // per cache generation. Concurrent callers singleflight: one builds, the
 // rest wait on the same entry. Build errors propagate to every waiter but
 // leave no entry behind.
+//
+//lint:trust memoWorld mutex-guarded singleflight memo keyed on (builder, seed, quick); invariant.RunAllMemoTransparent proves reports are bit-identical with the memo on or off
 func memoWorld[T any](key string, build func() (T, error)) (T, error) {
 	m := worldMemo
 	m.mu.Lock()

@@ -219,7 +219,7 @@ func (f *Factorial) getScratch(nj int) *decodeScratch {
 			next:  make([]float64, nj),
 		}
 	}
-	return sc
+	return sc //lint:allow poolescape borrow accessor: every caller pairs this with defer f.scratch.Put(sc)
 }
 
 // assemblePaths backtracks the flat backpointer lattice from the final
